@@ -1,0 +1,249 @@
+//! Software golden engines for the event-driven model.
+//!
+//! Two functional (un-timed) executors of [`DeltaAlgorithm`]s:
+//!
+//! * [`run_sequential`] — Algorithm 1 of the paper verbatim: a FIFO
+//!   worklist with in-queue coalescing; one event in flight per vertex.
+//!   This is the semantic yardstick every timing backend is validated
+//!   against.
+//! * [`run_bsp`] — synchronous (bulk-synchronous) rounds over deltas, i.e.
+//!   the execution order a BSP accelerator such as Graphicionado imposes.
+//!   Also reports per-round event counts, which back the Fig. 4 analysis.
+
+use gp_graph::{CsrGraph, VertexId};
+
+use crate::DeltaAlgorithm;
+
+/// Result of a golden-engine run.
+#[derive(Debug, Clone)]
+pub struct EngineOutput {
+    /// Final vertex values projected to `f64` via
+    /// [`DeltaAlgorithm::value_to_f64`].
+    pub values: Vec<f64>,
+    /// Number of events popped from the worklist (after coalescing).
+    pub events_processed: u64,
+    /// Number of events generated (before coalescing).
+    pub events_generated: u64,
+    /// Rounds executed (BSP engine) or queue-generation sweeps (sequential).
+    pub rounds: u64,
+}
+
+/// Runs `algo` on `graph` with the FIFO-worklist executor of Algorithm 1.
+///
+/// Events destined to a vertex that already has a pending event are
+/// coalesced in place, exactly like the accelerator's in-place coalescing
+/// queue, so at most one event per vertex is ever pending.
+///
+/// # Examples
+///
+/// ```
+/// use gp_algorithms::{engine, ConnectedComponents};
+/// use gp_graph::{GraphBuilder, VertexId};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(VertexId::new(0), VertexId::new(2), 1.0);
+/// b.symmetric(true);
+/// let g = b.build();
+/// let out = engine::run_sequential(&ConnectedComponents::new(), &g);
+/// assert_eq!(out.values, vec![2.0, 1.0, 2.0]);
+/// ```
+pub fn run_sequential<A: DeltaAlgorithm>(algo: &A, graph: &CsrGraph) -> EngineOutput {
+    let n = graph.num_vertices();
+    let mut values: Vec<A::Value> = (0..n)
+        .map(|v| algo.init_value(VertexId::from_index(v)))
+        .collect();
+    let mut pending: Vec<Option<A::Delta>> = vec![None; n];
+    let mut worklist: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+
+    let mut events_generated = 0u64;
+    let mut events_processed = 0u64;
+
+    for v in graph.vertices() {
+        if let Some(d) = algo.initial_delta(v, graph) {
+            pending[v.index()] = Some(d);
+            worklist.push_back(v.get());
+            events_generated += 1;
+        }
+    }
+
+    while let Some(u) = worklist.pop_front() {
+        let u = VertexId::new(u);
+        let delta = pending[u.index()].take().expect("worklist entry without delta");
+        events_processed += 1;
+        let old = values[u.index()];
+        let new = algo.reduce(old, delta);
+        values[u.index()] = new;
+        if let Some(basis) = algo.propagation_basis(old, new) {
+            let degree = graph.out_degree(u);
+            for edge in graph.out_edges(u) {
+                if let Some(d) = algo.propagate(basis, u, degree, edge) {
+                    events_generated += 1;
+                    let slot = &mut pending[edge.other.index()];
+                    match slot {
+                        Some(existing) => *existing = algo.coalesce(*existing, d),
+                        None => {
+                            *slot = Some(d);
+                            worklist.push_back(edge.other.get());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    EngineOutput {
+        values: values.into_iter().map(|v| algo.value_to_f64(v)).collect(),
+        events_processed,
+        events_generated,
+        rounds: 0,
+    }
+}
+
+/// Per-round statistics from [`run_bsp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BspRound {
+    /// Events generated during the round, before coalescing.
+    pub produced: u64,
+    /// Events remaining after coalescing (i.e. active vertices next round).
+    pub coalesced: u64,
+}
+
+/// Runs `algo` with bulk-synchronous rounds: all pending deltas are applied
+/// at a barrier, then all propagations of the round are coalesced into the
+/// next round's delta set. Returns the output plus per-round counts —
+/// the raw data behind Fig. 4 of the paper.
+///
+/// `max_rounds` bounds runaway configurations (returns early with partial
+/// values if exceeded).
+pub fn run_bsp<A: DeltaAlgorithm>(
+    algo: &A,
+    graph: &CsrGraph,
+    max_rounds: u64,
+) -> (EngineOutput, Vec<BspRound>) {
+    let n = graph.num_vertices();
+    let mut values: Vec<A::Value> = (0..n)
+        .map(|v| algo.init_value(VertexId::from_index(v)))
+        .collect();
+    let mut current: Vec<Option<A::Delta>> = vec![None; n];
+    let mut events_generated = 0u64;
+    let mut events_processed = 0u64;
+    let mut rounds_log = Vec::new();
+
+    for v in graph.vertices() {
+        if let Some(d) = algo.initial_delta(v, graph) {
+            current[v.index()] = Some(d);
+            events_generated += 1;
+        }
+    }
+
+    let mut rounds = 0u64;
+    loop {
+        if rounds >= max_rounds || current.iter().all(Option::is_none) {
+            break;
+        }
+        rounds += 1;
+        let mut next: Vec<Option<A::Delta>> = vec![None; n];
+        let mut produced = 0u64;
+        for u in 0..n {
+            let Some(delta) = current[u].take() else { continue };
+            events_processed += 1;
+            let uid = VertexId::from_index(u);
+            let old = values[u];
+            let new = algo.reduce(old, delta);
+            values[u] = new;
+            if let Some(basis) = algo.propagation_basis(old, new) {
+                let degree = graph.out_degree(uid);
+                for edge in graph.out_edges(uid) {
+                    if let Some(d) = algo.propagate(basis, uid, degree, edge) {
+                        produced += 1;
+                        events_generated += 1;
+                        let slot = &mut next[edge.other.index()];
+                        *slot = Some(match slot {
+                            Some(existing) => algo.coalesce(*existing, d),
+                            None => d,
+                        });
+                    }
+                }
+            }
+        }
+        let coalesced = next.iter().filter(|s| s.is_some()).count() as u64;
+        rounds_log.push(BspRound { produced, coalesced });
+        current = next;
+    }
+
+    (
+        EngineOutput {
+            values: values.into_iter().map(|v| algo.value_to_f64(v)).collect(),
+            events_processed,
+            events_generated,
+            rounds,
+        },
+        rounds_log,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bfs, ConnectedComponents, PageRankDelta, Sssp};
+    use gp_graph::generators::{erdos_renyi, watts_strogatz, WeightMode};
+    use gp_graph::GraphBuilder;
+
+    #[test]
+    fn sequential_and_bsp_agree_on_pagerank() {
+        let g = erdos_renyi(200, 1_200, WeightMode::Unweighted, 3);
+        let pr = PageRankDelta::new(0.85, 1e-9);
+        let seq = run_sequential(&pr, &g);
+        let (bsp, rounds) = run_bsp(&pr, &g, 10_000);
+        assert!(crate::max_abs_diff(&seq.values, &bsp.values) < 1e-5);
+        assert!(!rounds.is_empty());
+    }
+
+    #[test]
+    fn bsp_round_log_shrinks_for_pagerank() {
+        let g = erdos_renyi(300, 2_400, WeightMode::Unweighted, 5);
+        let pr = PageRankDelta::new(0.85, 1e-4);
+        let (_, rounds) = run_bsp(&pr, &g, 10_000);
+        // Coalescing caps pending events at the vertex count.
+        assert!(rounds.iter().all(|r| r.coalesced <= 300));
+        // Convergence: the final rounds are smaller than the peak.
+        let peak = rounds.iter().map(|r| r.produced).max().unwrap();
+        assert!(rounds.last().unwrap().produced < peak);
+    }
+
+    #[test]
+    fn sssp_matches_bfs_on_unit_weights() {
+        let g = watts_strogatz(100, 3, 0.2, WeightMode::Unweighted, 8);
+        let sssp = run_sequential(&Sssp::new(gp_graph::VertexId::new(0)), &g);
+        let bfs = run_sequential(&Bfs::new(gp_graph::VertexId::new(0)), &g);
+        assert!(crate::max_abs_diff(&sssp.values, &bfs.values) < 1e-9);
+    }
+
+    #[test]
+    fn cc_handles_disconnected_graphs() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(gp_graph::VertexId::new(0), gp_graph::VertexId::new(1), 1.0);
+        b.add_edge(gp_graph::VertexId::new(3), gp_graph::VertexId::new(4), 1.0);
+        b.symmetric(true);
+        let g = b.build();
+        let out = run_sequential(&ConnectedComponents::new(), &g);
+        assert_eq!(out.values, vec![1.0, 1.0, 2.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_graph_terminates_immediately() {
+        let g = GraphBuilder::new(0).build();
+        let out = run_sequential(&PageRankDelta::new(0.85, 1e-4), &g);
+        assert!(out.values.is_empty());
+        assert_eq!(out.events_processed, 0);
+    }
+
+    #[test]
+    fn bsp_respects_round_cap() {
+        let g = erdos_renyi(50, 300, WeightMode::Unweighted, 1);
+        let pr = PageRankDelta::new(0.85, 0.0); // never locally terminates
+        let (out, rounds) = run_bsp(&pr, &g, 5);
+        assert_eq!(out.rounds, 5);
+        assert_eq!(rounds.len(), 5);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the delta-accumulative contract (§II-B of the paper):
+//! the *reordering* property (commutative/associative reduce, distributive
+//! propagate) and the *simplification* property (identity deltas are no-ops),
+//! plus order-independence of the whole execution.
+
+use proptest::prelude::*;
+
+use gp_algorithms::engine::run_sequential;
+use gp_algorithms::{
+    max_abs_diff, normalize_inbound, reference, Adsorption, AdsorptionParams, Bfs,
+    ConnectedComponents, DeltaAlgorithm, PageRankDelta, Sssp,
+};
+use gp_graph::generators::{erdos_renyi, WeightMode};
+use gp_graph::{CsrGraph, EdgeRef, GraphBuilder, VertexId};
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    // 2..40 vertices, up to 4n random edges.
+    (2usize..40, 0u64..u64::MAX).prop_map(|(n, seed)| {
+        erdos_renyi(n, n * 4, WeightMode::Uniform(1.0, 8.0), seed)
+    })
+}
+
+fn approx(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-9 * scale
+}
+
+// ---- reordering property: coalesce is commutative + associative ----
+
+proptest! {
+    #[test]
+    fn pagerank_coalesce_commutative_associative(a in -1e3f64..1e3, b in -1e3f64..1e3, c in -1e3f64..1e3) {
+        let pr = PageRankDelta::new(0.85, 1e-4);
+        prop_assert!(approx(pr.coalesce(a, b), pr.coalesce(b, a)));
+        prop_assert!(approx(pr.coalesce(pr.coalesce(a, b), c), pr.coalesce(a, pr.coalesce(b, c))));
+    }
+
+    #[test]
+    fn sssp_coalesce_commutative_associative(a in 0.0f64..1e6, b in 0.0f64..1e6, c in 0.0f64..1e6) {
+        let s = Sssp::new(VertexId::new(0));
+        prop_assert_eq!(s.coalesce(a, b), s.coalesce(b, a));
+        prop_assert_eq!(s.coalesce(s.coalesce(a, b), c), s.coalesce(a, s.coalesce(b, c)));
+    }
+
+    #[test]
+    fn bfs_coalesce_commutative_associative(a: u32, b: u32, c: u32) {
+        let s = Bfs::new(VertexId::new(0));
+        prop_assert_eq!(s.coalesce(a, b), s.coalesce(b, a));
+        prop_assert_eq!(s.coalesce(s.coalesce(a, b), c), s.coalesce(a, s.coalesce(b, c)));
+    }
+
+    #[test]
+    fn cc_coalesce_commutative_associative(a: i64, b: i64, c: i64) {
+        let s = ConnectedComponents::new();
+        prop_assert_eq!(s.coalesce(a, b), s.coalesce(b, a));
+        prop_assert_eq!(s.coalesce(s.coalesce(a, b), c), s.coalesce(a, s.coalesce(b, c)));
+    }
+
+    // Propagate distributes over coalesce: g(x ⊕ y) == g(x) ⊕ g(y).
+    #[test]
+    fn pagerank_propagate_distributes(x in -1e3f64..1e3, y in -1e3f64..1e3, deg in 1u32..64) {
+        let pr = PageRankDelta::new(0.85, 1e-4);
+        let e = EdgeRef { other: VertexId::new(1), weight: 1.0 };
+        let lhs = pr.propagate(pr.coalesce(x, y), VertexId::new(0), deg, e).unwrap();
+        let rhs = pr.coalesce(
+            pr.propagate(x, VertexId::new(0), deg, e).unwrap(),
+            pr.propagate(y, VertexId::new(0), deg, e).unwrap(),
+        );
+        prop_assert!(approx(lhs, rhs));
+    }
+
+    #[test]
+    fn sssp_propagate_distributes(x in 0.0f64..1e6, y in 0.0f64..1e6, w in 0.0f32..100.0) {
+        let s = Sssp::new(VertexId::new(0));
+        let e = EdgeRef { other: VertexId::new(1), weight: w };
+        let lhs = s.propagate(s.coalesce(x, y), VertexId::new(0), 1, e).unwrap();
+        let rhs = s.coalesce(
+            s.propagate(x, VertexId::new(0), 1, e).unwrap(),
+            s.propagate(y, VertexId::new(0), 1, e).unwrap(),
+        );
+        prop_assert!(approx(lhs, rhs));
+    }
+
+    // ---- simplification property: identity deltas are no-ops ----
+
+    #[test]
+    fn identities_are_noops(v in -1e6f64..1e6, lvl: u32, label in -1i64..i64::MAX) {
+        // CC's identity (-1, per Table II) is an identity on the reachable
+        // state space: init value -1 and vertex-id labels >= 0.
+        let pr = PageRankDelta::new(0.85, 1e-4);
+        prop_assert_eq!(pr.reduce(v, pr.identity_delta()), v);
+        let s = Sssp::new(VertexId::new(0));
+        prop_assert_eq!(s.reduce(v.abs(), s.identity_delta()), v.abs());
+        let b = Bfs::new(VertexId::new(0));
+        prop_assert_eq!(b.reduce(lvl, b.identity_delta()), lvl);
+        let c = ConnectedComponents::new();
+        prop_assert_eq!(c.reduce(label, c.identity_delta()), label);
+    }
+}
+
+// ---- whole-execution equivalences on random graphs ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sequential_matches_dijkstra(g in arb_graph()) {
+        let root = VertexId::new(0);
+        let out = run_sequential(&Sssp::new(root), &g);
+        let golden = reference::sssp_dijkstra(&g, root);
+        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-6);
+    }
+
+    #[test]
+    fn sequential_matches_bfs(g in arb_graph()) {
+        let root = VertexId::new(1);
+        let out = run_sequential(&Bfs::new(root), &g);
+        let golden = reference::bfs_levels(&g, root);
+        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-9);
+    }
+
+    #[test]
+    fn sequential_matches_label_propagation(g in arb_graph()) {
+        let out = run_sequential(&ConnectedComponents::new(), &g);
+        let golden = reference::cc_labels(&g);
+        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-9);
+    }
+
+    #[test]
+    fn sequential_matches_power_iteration(g in arb_graph()) {
+        let out = run_sequential(&PageRankDelta::new(0.85, 1e-11), &g);
+        let golden = reference::pagerank(&g, 0.85, 1e-13);
+        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-4);
+    }
+
+    #[test]
+    fn sequential_matches_jacobi_adsorption(g in arb_graph(), seed: u64) {
+        let g = normalize_inbound(&g);
+        let params = AdsorptionParams::random(g.num_vertices(), seed);
+        let out = run_sequential(&Adsorption::new(params.clone(), 1e-11), &g);
+        let golden = reference::adsorption_jacobi(&g, &params, 1e-13);
+        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-4);
+    }
+
+    // Event delivery order must not change results (asynchrony safety):
+    // the FIFO-async executor and the barrier-synchronous executor apply
+    // deltas in very different orders yet must reach the same fixpoint.
+    #[test]
+    fn cc_fixpoint_is_order_independent(n in 3usize..30, seed: u64) {
+        let g = erdos_renyi(n, n * 3, WeightMode::Unweighted, seed);
+        let asynchronous = run_sequential(&ConnectedComponents::new(), &g);
+        let (synchronous, _) = gp_algorithms::engine::run_bsp(&ConnectedComponents::new(), &g, 10_000);
+        prop_assert_eq!(asynchronous.values, synchronous.values);
+    }
+}
+
+#[test]
+fn sssp_on_disconnected_graph_keeps_infinity() {
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(VertexId::new(0), VertexId::new(1), 2.0);
+    let g = b.build();
+    let out = run_sequential(&Sssp::new(VertexId::new(0)), &g);
+    assert_eq!(out.values[1], 2.0);
+    assert!(out.values[2].is_infinite());
+    assert!(out.values[3].is_infinite());
+}

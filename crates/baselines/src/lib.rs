@@ -1,0 +1,27 @@
+//! # gp-baselines — the two comparison systems of the evaluation
+//!
+//! The paper compares GraphPulse against:
+//!
+//! 1. **Ligra** (Shun & Blelloch, PPoPP'13), the state-of-the-art
+//!    shared-memory software framework, run on a real 12-core CPU. The
+//!    [`ligra`] module is a from-scratch reimplementation of its core:
+//!    `VertexSubset` frontiers with sparse/dense representations and a
+//!    direction-optimizing `edge_map` (push with compare-and-swap, pull
+//!    with early exit, switching at |frontier edges| > |E|/20), running on
+//!    real threads. Its performance is *measured* in wall-clock time, just
+//!    as the paper measured Ligra on hardware.
+//! 2. **Graphicionado** (Ham et al., MICRO'16), a pipelined
+//!    bulk-synchronous vertex-centric accelerator. The [`graphicionado`]
+//!    module models it at transaction level on the same `gp-mem` DRAM
+//!    subsystem the GraphPulse model uses, with the same generosity the
+//!    paper granted it: zero-cost active-set management and unlimited
+//!    on-chip temporary storage (§VI-A).
+//!
+//! Both run the same five applications as the accelerator, validated
+//! against `gp-algorithms`' golden references.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graphicionado;
+pub mod ligra;

@@ -1,0 +1,185 @@
+//! Frontier representation: Ligra's `VertexSubset`.
+
+use gp_graph::VertexId;
+
+/// A set of active vertices, stored sparsely (id list) or densely
+/// (bitvector) — the representation Ligra flips between as the frontier
+/// grows and shrinks.
+#[derive(Debug, Clone)]
+pub struct VertexSubset {
+    n: usize,
+    repr: Repr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Sparse(Vec<u32>),
+    Dense { bits: Vec<bool>, count: usize },
+}
+
+impl VertexSubset {
+    /// The empty frontier over an `n`-vertex graph.
+    pub fn empty(n: usize) -> Self {
+        VertexSubset {
+            n,
+            repr: Repr::Sparse(Vec::new()),
+        }
+    }
+
+    /// A singleton frontier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn single(n: usize, v: VertexId) -> Self {
+        assert!(v.index() < n, "vertex out of range");
+        VertexSubset {
+            n,
+            repr: Repr::Sparse(vec![v.get()]),
+        }
+    }
+
+    /// The full frontier (all vertices active).
+    pub fn all(n: usize) -> Self {
+        VertexSubset {
+            n,
+            repr: Repr::Dense {
+                bits: vec![true; n],
+                count: n,
+            },
+        }
+    }
+
+    /// Builds a frontier from a sparse id list (deduplicated by caller).
+    pub fn from_sparse(n: usize, ids: Vec<u32>) -> Self {
+        debug_assert!(ids.iter().all(|&v| (v as usize) < n));
+        VertexSubset {
+            n,
+            repr: Repr::Sparse(ids),
+        }
+    }
+
+    /// Builds a frontier from a dense bitvector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != n`.
+    pub fn from_dense(n: usize, bits: Vec<bool>) -> Self {
+        assert_eq!(bits.len(), n, "bitvector length mismatch");
+        let count = bits.iter().filter(|b| **b).count();
+        VertexSubset {
+            n,
+            repr: Repr::Dense { bits, count },
+        }
+    }
+
+    /// Number of active vertices.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(v) => v.len(),
+            Repr::Dense { count, .. } => *count,
+        }
+    }
+
+    /// Whether no vertex is active.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The universe size.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the current representation is dense.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense { .. })
+    }
+
+    /// Active ids as a sorted sparse list (converts if dense).
+    pub fn to_sparse(&self) -> Vec<u32> {
+        match &self.repr {
+            Repr::Sparse(v) => {
+                let mut v = v.clone();
+                v.sort_unstable();
+                v
+            }
+            Repr::Dense { bits, .. } => bits
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| b.then_some(i as u32))
+                .collect(),
+        }
+    }
+
+    /// Membership as a dense bitvector (converts if sparse).
+    pub fn to_dense(&self) -> Vec<bool> {
+        match &self.repr {
+            Repr::Dense { bits, .. } => bits.clone(),
+            Repr::Sparse(v) => {
+                let mut bits = vec![false; self.n];
+                for &id in v {
+                    bits[id as usize] = true;
+                }
+                bits
+            }
+        }
+    }
+
+    /// Calls `f` for every active vertex (ascending order for dense,
+    /// insertion order for sparse).
+    pub fn for_each(&self, mut f: impl FnMut(VertexId)) {
+        match &self.repr {
+            Repr::Sparse(v) => {
+                for &id in v {
+                    f(VertexId::new(id));
+                }
+            }
+            Repr::Dense { bits, .. } => {
+                for (i, b) in bits.iter().enumerate() {
+                    if *b {
+                        f(VertexId::from_index(i));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representations_round_trip() {
+        let s = VertexSubset::from_sparse(10, vec![3, 7, 1]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_dense());
+        let d = VertexSubset::from_dense(10, s.to_dense());
+        assert!(d.is_dense());
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.to_sparse(), vec![1, 3, 7]);
+    }
+
+    #[test]
+    fn all_and_empty() {
+        let all = VertexSubset::all(5);
+        assert_eq!(all.len(), 5);
+        assert!(VertexSubset::empty(5).is_empty());
+        assert_eq!(all.universe(), 5);
+    }
+
+    #[test]
+    fn for_each_visits_members() {
+        let s = VertexSubset::single(4, VertexId::new(2));
+        let mut seen = Vec::new();
+        s.for_each(|v| seen.push(v.get()));
+        assert_eq!(seen, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_checks_bounds() {
+        let _ = VertexSubset::single(2, VertexId::new(5));
+    }
+}

@@ -1,0 +1,80 @@
+//! A Ligra-style direction-optimizing shared-memory graph framework.
+//!
+//! Reimplements the core of Ligra (Shun & Blelloch, PPoPP'13), the software
+//! baseline of the paper's evaluation: frontiers ([`VertexSubset`]) that
+//! switch between sparse and dense representations, and a
+//! direction-optimizing [`edge_map`] that pushes (with compare-and-swap)
+//! from sparse frontiers and pulls (with early exit) into dense ones,
+//! switching when the frontier's out-edge count exceeds `|E| / 20`.
+//!
+//! The five applications of the evaluation live in [`apps`]. Runs are
+//! measured in wall-clock time on real threads — exactly how the paper
+//! measures its software baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use gp_baselines::ligra::{apps, LigraConfig};
+//! use gp_graph::generators::{erdos_renyi, WeightMode};
+//! use gp_graph::VertexId;
+//!
+//! let g = erdos_renyi(500, 3_000, WeightMode::Unweighted, 1);
+//! let out = apps::bfs(&g, VertexId::new(0), &LigraConfig::default());
+//! assert_eq!(out.values.len(), 500);
+//! ```
+
+pub mod apps;
+mod atomic;
+mod edge_map;
+mod frontier;
+
+pub use atomic::AtomicF64;
+pub use edge_map::{edge_map, EdgeOp};
+pub use frontier::VertexSubset;
+
+use std::time::Duration;
+
+/// Configuration of the software framework.
+#[derive(Debug, Clone)]
+pub struct LigraConfig {
+    /// Worker threads (defaults to the machine's available parallelism,
+    /// matching the paper's 12-core software platform when run on one).
+    pub threads: usize,
+    /// Direction-optimization threshold divisor: switch to dense/pull when
+    /// the frontier's edge count exceeds `|E| / dense_threshold_div`
+    /// (Ligra's default is 20).
+    pub dense_threshold_div: usize,
+    /// Safety cap on iterations.
+    pub max_iterations: u64,
+}
+
+impl Default for LigraConfig {
+    fn default() -> Self {
+        LigraConfig {
+            threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+            dense_threshold_div: 20,
+            max_iterations: 1_000_000,
+        }
+    }
+}
+
+impl LigraConfig {
+    /// A single-threaded configuration (deterministic timing in tests).
+    pub fn sequential() -> Self {
+        LigraConfig {
+            threads: 1,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of a software-framework run.
+#[derive(Debug, Clone)]
+pub struct LigraOutput {
+    /// Final vertex values as `f64` (∞ for unreached).
+    pub values: Vec<f64>,
+    /// Iterations (edge_map rounds) executed.
+    pub iterations: u64,
+    /// Measured wall-clock time of the compute phase.
+    pub elapsed: Duration,
+}

@@ -1,0 +1,66 @@
+//! Property tests of the software baseline: results are independent of the
+//! thread count and of the push/pull direction decision, and always match
+//! the golden references.
+
+use proptest::prelude::*;
+
+use gp_algorithms::{max_abs_diff, reference};
+use gp_baselines::ligra::{apps, LigraConfig};
+use gp_graph::generators::{erdos_renyi, WeightMode};
+use gp_graph::{CsrGraph, VertexId};
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..80, 0u64..u64::MAX)
+        .prop_map(|(n, seed)| erdos_renyi(n, n * 4, WeightMode::Uniform(1.0, 7.0), seed))
+}
+
+fn cfg(threads: usize, div: usize) -> LigraConfig {
+    LigraConfig {
+        threads,
+        dense_threshold_div: div,
+        max_iterations: 100_000,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn bfs_invariant_to_threads_and_direction(
+        g in arb_graph(),
+        threads in 1usize..5,
+        div in prop_oneof![Just(0usize), Just(20), Just(usize::MAX)],
+    ) {
+        let out = apps::bfs(&g, VertexId::new(0), &cfg(threads, div));
+        let golden = reference::bfs_levels(&g, VertexId::new(0));
+        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-9);
+    }
+
+    #[test]
+    fn sssp_invariant_to_threads_and_direction(
+        g in arb_graph(),
+        threads in 1usize..5,
+        div in prop_oneof![Just(0usize), Just(20), Just(usize::MAX)],
+    ) {
+        let out = apps::sssp(&g, VertexId::new(0), &cfg(threads, div));
+        let golden = reference::sssp_dijkstra(&g, VertexId::new(0));
+        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-9);
+    }
+
+    #[test]
+    fn cc_invariant_to_threads(g in arb_graph(), threads in 1usize..5) {
+        let out = apps::cc(&g, &cfg(threads, 20));
+        let golden = reference::cc_labels(&g);
+        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-9);
+    }
+
+    #[test]
+    fn pagerank_deterministic_modulo_float_reassociation(
+        g in arb_graph(),
+        threads in 1usize..5,
+    ) {
+        let a = apps::pagerank_delta(&g, 0.85, 1e-10, &cfg(threads, 20));
+        let golden = reference::pagerank(&g, 0.85, 1e-12);
+        prop_assert!(max_abs_diff(&a.values, &golden) < 1e-4);
+    }
+}

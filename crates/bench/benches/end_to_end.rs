@@ -1,0 +1,28 @@
+//! Criterion bench behind Fig. 10: end-to-end accelerator runs, one per
+//! application, on a small LiveJournal-profile graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gp_bench::{gp_config, prepare, run_graphpulse, App};
+use gp_graph::workloads::Workload;
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for app in App::ALL {
+        let prepared = prepare(Workload::LiveJournal, app, 4096, 7);
+        let cfg = gp_config(Workload::LiveJournal, &prepared.graph, true);
+        group.bench_with_input(BenchmarkId::from_parameter(app.label()), &prepared, |b, p| {
+            b.iter(|| run_graphpulse(app, p, &cfg).report.cycles);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Simulated (deterministic) timings have zero variance, which the
+    // plotting backend cannot render — disable plots.
+    config = Criterion::default().without_plots();
+    targets = bench_apps
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench behind Figs. 11/12: *modeled* DRAM throughput under
+//! sequential vs random access streams.
+//!
+//! Uses `iter_custom` to report **simulated** time (1 ns per modeled cycle
+//! at the paper's 1 GHz clock), so the throughput lines read as the DRAM
+//! model's achieved bandwidth: sequential streams ride row-buffer hits and
+//! all four channels (~60 GB/s of the 68 GB/s peak), random single-channel
+//! row-conflict streams collapse to a fraction of that.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gp_mem::{DramConfig, MemRequest, MemorySystem, TrafficClass};
+use gp_sim::Cycle;
+
+fn drive(mem: &mut MemorySystem, addrs: &[u64]) -> u64 {
+    let mut now = Cycle::ZERO;
+    let mut next = 0usize;
+    let mut done = 0usize;
+    while done < addrs.len() {
+        while next < addrs.len() && mem.can_accept(addrs[next]) {
+            mem.request(now, MemRequest::read(addrs[next], 64, TrafficClass::Other))
+                .expect("accepted");
+            next += 1;
+        }
+        mem.tick(now);
+        while mem.pop_completion(now).is_some() {
+            done += 1;
+        }
+        now = now.next();
+    }
+    now.get()
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_model");
+    group.sample_size(20);
+    let n = 4_096u64;
+    let sequential: Vec<u64> = (0..n).map(|i| i * 64).collect();
+    let random: Vec<u64> = (0..n).map(|i| (i.wrapping_mul(2654435761) % n) * 8192).collect();
+    for (name, addrs) in [("sequential", sequential), ("random", random)] {
+        group.throughput(Throughput::Bytes(addrs.len() as u64 * 64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &addrs, |b, a| {
+            b.iter_custom(|iters| {
+                let mut simulated = Duration::ZERO;
+                for _ in 0..iters {
+                    let mut mem = MemorySystem::new(DramConfig::paper());
+                    let cycles = drive(&mut mem, a);
+                    simulated += Duration::from_nanos(cycles); // 1 GHz clock
+                }
+                simulated
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Simulated (deterministic) timings have zero variance, which the
+    // plotting backend cannot render — disable plots.
+    config = Criterion::default().without_plots();
+    targets = bench_dram
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 11: total off-chip memory accesses of GraphPulse normalized to
+//! Graphicionado (lower is better; the paper reports 54% less on average).
+
+use gp_baselines::graphicionado::GraphicionadoConfig;
+use gp_bench::{
+    gp_config, prepare, print_table, run_graphicionado, run_graphpulse, HarnessConfig,
+};
+
+fn main() {
+    let cfg = HarnessConfig::from_args(std::env::args().skip(1));
+    println!(
+        "Fig. 11 — off-chip accesses, GraphPulse normalized to Graphicionado (scale 1/{})",
+        cfg.scale
+    );
+    let mut rows = Vec::new();
+    let mut geo = 0.0f64;
+    let mut runs = 0u32;
+    for app in &cfg.apps {
+        for workload in &cfg.workloads {
+            let prepared = prepare(*workload, *app, cfg.scale, cfg.seed);
+            let gp = run_graphpulse(*app, &prepared, &gp_config(*workload, &prepared.graph, true));
+            let hw = run_graphicionado(*app, &prepared, &GraphicionadoConfig::default());
+            let gp_acc = gp.report.memory.total_accesses();
+            let hw_acc = hw.memory.total_accesses().max(1);
+            let norm = gp_acc as f64 / hw_acc as f64;
+            geo += norm.ln();
+            runs += 1;
+            rows.push(vec![
+                app.label().to_string(),
+                workload.abbrev().to_string(),
+                gp_acc.to_string(),
+                hw_acc.to_string(),
+                format!("{norm:.2}"),
+            ]);
+        }
+    }
+    print_table(
+        "Off-chip accesses (normalized, GraphPulse / Graphicionado)",
+        &["app", "graph", "GraphPulse", "Graphicionado", "normalized"],
+        &rows,
+    );
+    if runs > 0 {
+        println!(
+            "\ngeomean normalized accesses: {:.2} (paper: ~0.46, i.e. 54% less traffic)",
+            (geo / f64::from(runs)).exp()
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 14: fraction of execution time the processors (left bars) and
+//! generation units (right bars) spend in each state.
+//!
+//! Paper reference points: generation units spend close to 80% of cycles
+//! reading edge memory; processors stall ~70% waiting for generators.
+
+use gp_bench::{gp_config, prepare, print_table, run_graphpulse, HarnessConfig};
+
+fn main() {
+    let cfg = HarnessConfig::from_args(std::env::args().skip(1));
+    println!("Fig. 14 — unit time breakdown (scale 1/{})", cfg.scale);
+    let mut rows = Vec::new();
+    for app in &cfg.apps {
+        for workload in &cfg.workloads {
+            let prepared = prepare(*workload, *app, cfg.scale, cfg.seed);
+            let out = run_graphpulse(*app, &prepared, &gp_config(*workload, &prepared.graph, true));
+            let fmt = |fracs: &[(&'static str, u64, f64)]| -> Vec<String> {
+                fracs.iter().map(|(_, _, f)| format!("{:.0}%", f * 100.0)).collect()
+            };
+            let proc = fmt(&out.report.proc_timeline.fractions());
+            let gen = fmt(&out.report.gen_timeline.fractions());
+            let mut row = vec![app.label().to_string(), workload.abbrev().to_string()];
+            row.extend(proc);
+            row.extend(gen);
+            rows.push(row);
+        }
+    }
+    print_table(
+        "Processor states (vertex-read/process/stall/idle) | generator states (edge-read/generate/stall/idle)",
+        &[
+            "app", "graph", "P:vtx", "P:proc", "P:stall", "P:idle", "G:edge", "G:gen", "G:stall",
+            "G:idle",
+        ],
+        &rows,
+    );
+}

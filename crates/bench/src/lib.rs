@@ -1,0 +1,389 @@
+//! # gp-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the GraphPulse paper's evaluation
+//! (§VI). Each figure has a dedicated binary (`fig04_coalescing`,
+//! `fig08_lookahead`, `fig10_speedup`, `fig11_offchip`,
+//! `fig12_utilization`, `fig13_stages`, `fig14_breakdown`, `tab05_power`)
+//! plus a `report` binary that runs the full suite; `criterion` benches in
+//! `benches/` cover the hot paths behind each figure.
+//!
+//! All binaries accept:
+//!
+//! ```text
+//! --scale N       scale denominator vs. the published dataset sizes (default 256)
+//! --seed S        RNG seed (default 42)
+//! --workloads W   comma list of WG,FB,WK,LJ,TW (default all)
+//! --apps A        comma list of pr,ads,sssp,bfs,cc (default all)
+//! --threads T     software-baseline threads (default: all cores)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gp_algorithms::{
+    normalize_inbound, Adsorption, AdsorptionParams, Bfs, ConnectedComponents, PageRankDelta,
+    Sssp,
+};
+use gp_baselines::graphicionado::{self, GraphicionadoConfig};
+use gp_baselines::ligra::{apps as ligra_apps, LigraConfig, LigraOutput};
+use gp_graph::generators::WeightMode;
+use gp_graph::workloads::Workload;
+use gp_graph::{CsrGraph, VertexId};
+use graphpulse_core::{AcceleratorConfig, GraphPulse, Outcome, QueueConfig};
+
+/// The five applications of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum App {
+    /// PageRank-Delta.
+    PageRank,
+    /// Adsorption.
+    Adsorption,
+    /// Single-source shortest paths.
+    Sssp,
+    /// Breadth-first search.
+    Bfs,
+    /// Connected components.
+    Cc,
+}
+
+impl App {
+    /// All apps in the paper's Fig. 10 order.
+    pub const ALL: [App; 5] = [App::PageRank, App::Adsorption, App::Sssp, App::Bfs, App::Cc];
+
+    /// Paper-style short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            App::PageRank => "PRD",
+            App::Adsorption => "ADS",
+            App::Sssp => "SSSP",
+            App::Bfs => "BFS",
+            App::Cc => "CC",
+        }
+    }
+
+    /// Parses `pr`, `ads`, `sssp`, `bfs`, `cc` (case-insensitive).
+    pub fn parse(s: &str) -> Option<App> {
+        match s.to_ascii_lowercase().as_str() {
+            "pr" | "prd" | "pagerank" => Some(App::PageRank),
+            "ads" | "adsorption" => Some(App::Adsorption),
+            "sssp" => Some(App::Sssp),
+            "bfs" => Some(App::Bfs),
+            "cc" => Some(App::Cc),
+            _ => None,
+        }
+    }
+}
+
+/// Harness-wide knobs parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Scale denominator against the published dataset sizes.
+    pub scale: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Workloads to run.
+    pub workloads: Vec<Workload>,
+    /// Apps to run.
+    pub apps: Vec<App>,
+    /// Software-baseline threads.
+    pub threads: usize,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            scale: 256,
+            seed: 42,
+            workloads: Workload::TABLE_IV.to_vec(),
+            apps: App::ALL.to_vec(),
+            threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Parses `std::env::args()`-style arguments; unknown flags abort with
+    /// a usage message.
+    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+        let mut cfg = HarnessConfig::default();
+        let mut args = args.peekable();
+        while let Some(flag) = args.next() {
+            let mut value = || {
+                args.next()
+                    .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--scale" => cfg.scale = value().parse().expect("--scale takes an integer"),
+                "--seed" => cfg.seed = value().parse().expect("--seed takes an integer"),
+                "--threads" => cfg.threads = value().parse().expect("--threads takes an integer"),
+                "--workloads" => {
+                    cfg.workloads = value()
+                        .split(',')
+                        .map(|w| match w.to_ascii_uppercase().as_str() {
+                            "WG" => Workload::WebGoogle,
+                            "FB" => Workload::Facebook,
+                            "WK" => Workload::Wikipedia,
+                            "LJ" => Workload::LiveJournal,
+                            "TW" => Workload::Twitter,
+                            other => panic!("unknown workload {other}"),
+                        })
+                        .collect();
+                }
+                "--apps" => {
+                    cfg.apps = value()
+                        .split(',')
+                        .map(|a| App::parse(a).unwrap_or_else(|| panic!("unknown app {a}")))
+                        .collect();
+                }
+                other => panic!("unknown flag {other}; see crate docs for usage"),
+            }
+        }
+        cfg
+    }
+
+    /// The Ligra configuration derived from the harness knobs.
+    pub fn ligra(&self) -> LigraConfig {
+        LigraConfig {
+            threads: self.threads,
+            ..LigraConfig::default()
+        }
+    }
+}
+
+/// A workload instantiated for one app: the right graph variant plus
+/// Adsorption parameters when needed.
+pub struct Prepared {
+    /// The graph the app runs on.
+    pub graph: CsrGraph,
+    /// Per-vertex Adsorption parameters (only for [`App::Adsorption`]).
+    pub params: Option<AdsorptionParams>,
+    /// Root vertex for BFS/SSSP (highest out-degree, paper-style).
+    pub root: VertexId,
+}
+
+/// Builds the graph (and parameters) `app` needs for `workload`.
+///
+/// PR/BFS/CC run on the unweighted synthetic graph; SSSP gets uniform
+/// weights in `[1, 10)`; Adsorption gets random weights normalized per
+/// inbound vertex (§VI-A). Twitter is scaled an extra 4x beyond the
+/// requested denominator so the simulations stay affordable on one host;
+/// it remains by far the largest graph and still exercises the 3-slice
+/// execution path (see `gp_config`).
+pub fn prepare(workload: Workload, app: App, scale: usize, seed: u64) -> Prepared {
+    let scale = if workload == Workload::Twitter { scale * 4 } else { scale };
+    let (graph, params) = match app {
+        App::Sssp => (
+            workload.synthesize_weighted(scale, WeightMode::Uniform(1.0, 10.0), seed),
+            None,
+        ),
+        App::Adsorption => {
+            let raw = workload.synthesize_weighted(scale, WeightMode::Uniform(0.5, 2.0), seed);
+            let graph = normalize_inbound(&raw);
+            let params = Some(AdsorptionParams::random(graph.num_vertices(), seed ^ 0xAD50));
+            (graph, params)
+        }
+        _ => (workload.synthesize(scale, seed), None),
+    };
+    let root = graph
+        .vertices()
+        .max_by_key(|v| graph.out_degree(*v))
+        .unwrap_or(VertexId::new(0));
+    Prepared { graph, params, root }
+}
+
+/// The PageRank threshold used throughout the harness.
+pub const PR_EPS: f64 = 1e-7;
+/// The Adsorption threshold used throughout the harness.
+pub const ADS_EPS: f64 = 1e-7;
+
+/// GraphPulse configuration for a workload: the paper's machine, with the
+/// queue sized so Twitter needs ~3 slices (§IV-F / §VI-A) and smaller
+/// workloads fit in one.
+pub fn gp_config(workload: Workload, graph: &CsrGraph, optimized: bool) -> AcceleratorConfig {
+    let mut cfg = if optimized {
+        AcceleratorConfig::optimized()
+    } else {
+        AcceleratorConfig::baseline()
+    };
+    if workload == Workload::Twitter {
+        // Force the paper's 3-slice execution at any scale.
+        let per_slice = graph.num_vertices().div_ceil(3).max(1);
+        let cols = cfg.queue.cols;
+        let bins = cfg.queue.bins;
+        let rows = per_slice.div_ceil(cols * bins).max(1);
+        cfg.queue = QueueConfig { bins, rows, cols };
+    }
+    cfg
+}
+
+/// Runs one app on the GraphPulse accelerator model.
+///
+/// # Panics
+///
+/// Panics if the simulation errors (configuration is validated upstream).
+pub fn run_graphpulse(app: App, prepared: &Prepared, cfg: &AcceleratorConfig) -> Outcome {
+    let accel = GraphPulse::new(cfg.clone());
+    let g = &prepared.graph;
+    match app {
+        App::PageRank => accel.run(g, &PageRankDelta::new(0.85, PR_EPS)),
+        App::Adsorption => accel.run(
+            g,
+            &Adsorption::new(prepared.params.clone().expect("adsorption params"), ADS_EPS),
+        ),
+        App::Sssp => accel.run(g, &Sssp::new(prepared.root)),
+        App::Bfs => accel.run(g, &Bfs::new(prepared.root)),
+        App::Cc => accel.run(g, &ConnectedComponents::new()),
+    }
+    .expect("accelerator run failed")
+}
+
+/// Runs one app on the Ligra-style software framework (measured wall time).
+pub fn run_ligra(app: App, prepared: &Prepared, cfg: &LigraConfig) -> LigraOutput {
+    let g = &prepared.graph;
+    match app {
+        App::PageRank => ligra_apps::pagerank_delta(g, 0.85, PR_EPS, cfg),
+        App::Adsorption => ligra_apps::adsorption(
+            g,
+            prepared.params.as_ref().expect("adsorption params"),
+            ADS_EPS,
+            cfg,
+        ),
+        App::Sssp => ligra_apps::sssp(g, prepared.root, cfg),
+        App::Bfs => ligra_apps::bfs(g, prepared.root, cfg),
+        App::Cc => ligra_apps::cc(g, cfg),
+    }
+}
+
+/// Runs one app on the Graphicionado model.
+pub fn run_graphicionado(
+    app: App,
+    prepared: &Prepared,
+    cfg: &GraphicionadoConfig,
+) -> graphicionado::GraphicionadoOutput {
+    let g = &prepared.graph;
+    match app {
+        App::PageRank => graphicionado::run(g, &PageRankDelta::new(0.85, PR_EPS), cfg),
+        App::Adsorption => graphicionado::run(
+            g,
+            &Adsorption::new(prepared.params.clone().expect("adsorption params"), ADS_EPS),
+            cfg,
+        ),
+        App::Sssp => graphicionado::run(g, &Sssp::new(prepared.root), cfg),
+        App::Bfs => graphicionado::run(g, &Bfs::new(prepared.root), cfg),
+        App::Cc => graphicionado::run(g, &ConnectedComponents::new(), cfg),
+    }
+}
+
+/// Prints a Markdown-ish table: a header row then aligned data rows.
+///
+/// Also drops a machine-readable copy under `figures/<slug>.csv` (relative
+/// to the working directory) so the data behind every figure can be
+/// re-plotted; failures to write the CSV are reported but non-fatal.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    if let Err(e) = write_csv(title, header, rows) {
+        eprintln!("note: could not write figures CSV: {e}");
+    }
+    println!("\n### {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let cols: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("| {} |", cols.join(" | "));
+    };
+    line(header.iter().map(|s| s.to_string()).collect());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+fn write_csv(title: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    use std::io::Write;
+    let slug: String = title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect::<String>()
+        .split('-')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("-");
+    let slug: String = slug.chars().take(60, ).collect();
+    std::fs::create_dir_all("figures")?;
+    let mut f = std::fs::File::create(format!("figures/{slug}.csv"))?;
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_round_trip() {
+        let cfg = HarnessConfig::from_args(
+            [
+                "--scale", "128", "--seed", "7", "--workloads", "WG,LJ", "--apps", "pr,bfs",
+                "--threads", "2",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        assert_eq!(cfg.scale, 128);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.workloads, vec![Workload::WebGoogle, Workload::LiveJournal]);
+        assert_eq!(cfg.apps, vec![App::PageRank, App::Bfs]);
+        assert_eq!(cfg.threads, 2);
+    }
+
+    #[test]
+    fn prepare_gives_weights_where_needed() {
+        let p = prepare(Workload::WebGoogle, App::Sssp, 2048, 1);
+        assert!(p.graph.is_weighted());
+        let p = prepare(Workload::WebGoogle, App::PageRank, 2048, 1);
+        assert!(!p.graph.is_weighted());
+        let p = prepare(Workload::WebGoogle, App::Adsorption, 2048, 1);
+        assert!(p.params.is_some());
+        assert!(p.graph.out_degree(p.root) > 0);
+    }
+
+    #[test]
+    fn twitter_config_forces_three_slices() {
+        // Scale chosen so the queue's bins-by-cols granularity still splits
+        // the (extra-4x-scaled) Twitter graph into about three slices.
+        let p = prepare(Workload::Twitter, App::PageRank, 1024, 1);
+        let cfg = gp_config(Workload::Twitter, &p.graph, true);
+        let cap = cfg.queue.capacity();
+        let slices = p.graph.num_vertices().div_ceil(cap);
+        assert!((2..=4).contains(&slices), "got {slices} slices");
+    }
+
+    #[test]
+    fn all_backends_agree_on_a_small_run() {
+        let p = prepare(Workload::WebGoogle, App::Bfs, 8192, 3);
+        let mut cfg = gp_config(Workload::WebGoogle, &p.graph, true);
+        cfg.queue = QueueConfig { bins: 8, rows: 64, cols: 8 };
+        let gp = run_graphpulse(App::Bfs, &p, &cfg);
+        let sw = run_ligra(App::Bfs, &p, &LigraConfig::sequential());
+        let hw = run_graphicionado(App::Bfs, &p, &GraphicionadoConfig::default());
+        assert!(gp_algorithms::max_abs_diff(&gp.values, &sw.values) < 1e-9);
+        assert!(gp_algorithms::max_abs_diff(&gp.values, &hw.values) < 1e-9);
+    }
+}

@@ -1,0 +1,95 @@
+//! Hardware events: the unit of computation (§III-A).
+
+use gp_graph::VertexId;
+
+/// Statistics metadata carried by an event.
+///
+/// `depth_min`/`depth_max` tag the range of *virtual iteration* depths of
+/// the contributions folded into this event: a freshly generated event has
+/// `depth_min == depth_max == parent depth + 1`, and coalescing widens the
+/// range. The spread (`lookahead`) is the paper's Fig. 8 metric — how many
+/// iterations of synchronous execution one coalesced event compounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventMeta {
+    /// Smallest virtual-iteration depth folded into the event.
+    pub depth_min: u32,
+    /// Largest virtual-iteration depth folded into the event.
+    pub depth_max: u32,
+}
+
+impl EventMeta {
+    /// Metadata of a fresh (un-coalesced) event at `depth`.
+    pub fn at_depth(depth: u32) -> Self {
+        EventMeta {
+            depth_min: depth,
+            depth_max: depth,
+        }
+    }
+
+    /// Metadata after coalescing two events.
+    pub fn merge(self, other: EventMeta) -> Self {
+        EventMeta {
+            depth_min: self.depth_min.min(other.depth_min),
+            depth_max: self.depth_max.max(other.depth_max),
+        }
+    }
+
+    /// Iteration spread compounded into the event (Fig. 8's "lookahead").
+    pub fn lookahead(self) -> u32 {
+        self.depth_max - self.depth_min
+    }
+}
+
+/// A lightweight message carrying a delta to a destination vertex
+/// (destination id + payload, 8 bytes in hardware; the metadata is
+/// simulation-only bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event<D> {
+    /// Destination vertex (global id).
+    pub target: VertexId,
+    /// The delta payload.
+    pub delta: D,
+    /// Simulation-only statistics tags.
+    pub meta: EventMeta,
+}
+
+impl<D> Event<D> {
+    /// Creates a fresh event at virtual-iteration `depth`.
+    pub fn new(target: VertexId, delta: D, depth: u32) -> Self {
+        Event {
+            target,
+            delta,
+            meta: EventMeta::at_depth(depth),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_widens_depth_range() {
+        let a = EventMeta::at_depth(3);
+        let b = EventMeta::at_depth(10);
+        let m = a.merge(b);
+        assert_eq!(m.depth_min, 3);
+        assert_eq!(m.depth_max, 10);
+        assert_eq!(m.lookahead(), 7);
+        assert_eq!(a.lookahead(), 0);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = EventMeta { depth_min: 2, depth_max: 5 };
+        let b = EventMeta { depth_min: 4, depth_max: 9 };
+        assert_eq!(a.merge(b), b.merge(a));
+    }
+
+    #[test]
+    fn fresh_event_carries_depth() {
+        let e = Event::new(VertexId::new(7), 1.5f64, 4);
+        assert_eq!(e.target, VertexId::new(7));
+        assert_eq!(e.meta.depth_min, 4);
+    }
+}

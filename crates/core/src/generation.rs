@@ -1,0 +1,202 @@
+//! Generation units and streams (§V, Fig. 9).
+//!
+//! After an event is processed, update events must be generated for the
+//! vertex's whole out-edge set — the expensive step that used to stall the
+//! processors. The paper decouples it: each processor feeds a *generation
+//! unit* holding several *streams* that share an edge cache; each stream
+//! walks one vertex's edge list at one edge per cycle, with a degree-hinted
+//! N-block prefetcher keeping the cache warm.
+
+use std::collections::VecDeque;
+
+use gp_graph::VertexId;
+use gp_mem::{Cache, CacheConfig};
+use gp_sim::stats::StateTimeline;
+use gp_sim::Cycle;
+
+use crate::metrics::GEN_STATES;
+use crate::network::Flit;
+
+/// Index of the generation states in the Fig. 14 timeline.
+pub(crate) const GT_EDGE_READ: usize = 0;
+pub(crate) const GT_GENERATE: usize = 1;
+pub(crate) const GT_STALL: usize = 2;
+pub(crate) const GT_IDLE: usize = 3;
+
+/// A processed vertex waiting for event generation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GenTask<D> {
+    pub vertex: VertexId,
+    /// The propagation basis Δu produced by the reduce step.
+    pub basis: D,
+    pub degree: u32,
+    /// Virtual-iteration depth of the events this task will emit.
+    pub depth: u32,
+    /// Cycle the task entered the generation buffer.
+    pub queued_at: Cycle,
+}
+
+/// A stream actively walking one vertex's edge list.
+#[derive(Debug)]
+pub(crate) struct ActiveGen<D> {
+    pub task: GenTask<D>,
+    pub next_edge: u32,
+    /// Cycles stalled waiting for edge lines (Fig. 13 "Edge Mem").
+    pub edge_wait: u64,
+    /// Cycles spent emitting/routing events (Fig. 13 "Generate").
+    pub gen_cycles: u64,
+}
+
+/// One generation stream.
+#[derive(Debug)]
+pub(crate) struct Stream<D> {
+    pub active: Option<ActiveGen<D>>,
+    /// An emitted event that found its crossbar port full.
+    pub pending: Option<Flit<D>>,
+    /// The crossbar port this stream is multiplexed onto.
+    pub port: usize,
+    pub timeline: StateTimeline,
+}
+
+impl<D> Stream<D> {
+    fn new(port: usize) -> Self {
+        Stream {
+            active: None,
+            pending: None,
+            port,
+            timeline: StateTimeline::new(&GEN_STATES),
+        }
+    }
+
+    /// Whether the stream holds no work.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.active.is_none() && self.pending.is_none()
+    }
+}
+
+/// A generation unit: the streams attached to one processor plus their
+/// shared edge cache.
+#[derive(Debug)]
+pub(crate) struct GenUnit<D> {
+    pub buffer: VecDeque<GenTask<D>>,
+    buffer_cap: usize,
+    pub cache: Cache,
+    /// Edge lines requested from memory but not yet arrived.
+    pub pending_lines: Vec<u64>,
+    pub streams: Vec<Stream<D>>,
+}
+
+impl<D> GenUnit<D> {
+    pub(crate) fn new(
+        streams: usize,
+        buffer_cap: usize,
+        cache: CacheConfig,
+        first_port: usize,
+        ports: usize,
+    ) -> Self {
+        GenUnit {
+            buffer: VecDeque::with_capacity(buffer_cap),
+            buffer_cap,
+            cache: Cache::new(cache),
+            pending_lines: Vec::new(),
+            streams: (0..streams)
+                .map(|s| Stream::new((first_port + s) % ports))
+                .collect(),
+        }
+    }
+
+    /// Whether the generation buffer can take another task.
+    pub(crate) fn has_space(&self) -> bool {
+        self.buffer.len() < self.buffer_cap
+    }
+
+    /// Queues a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow; gate with [`GenUnit::has_space`].
+    pub(crate) fn push_task(&mut self, task: GenTask<D>) {
+        assert!(self.has_space(), "generation buffer overflow");
+        self.buffer.push_back(task);
+    }
+
+    /// An edge line arrived from memory.
+    pub(crate) fn line_arrived(&mut self, line: u64) {
+        self.pending_lines.retain(|&l| l != line);
+        self.cache.fill(line);
+    }
+
+    /// Whether buffer and all streams are drained.
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.buffer.is_empty()
+            && self.pending_lines.is_empty()
+            && self.streams.iter().all(Stream::is_idle)
+    }
+
+    /// Resets transient state for a slice swap.
+    pub(crate) fn reset_for_swap(&mut self) {
+        debug_assert!(self.is_quiescent(), "swap while busy");
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> GenUnit<f64> {
+        GenUnit::new(4, 2, CacheConfig { sets: 2, ways: 2 }, 3, 16)
+    }
+
+    #[test]
+    fn ports_assigned_round_robin_from_first() {
+        let u = unit();
+        let ports: Vec<usize> = u.streams.iter().map(|s| s.port).collect();
+        assert_eq!(ports, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn buffer_capacity_enforced() {
+        let mut u = unit();
+        let task = GenTask {
+            vertex: VertexId::new(0),
+            basis: 1.0,
+            degree: 2,
+            depth: 0,
+            queued_at: Cycle::ZERO,
+        };
+        assert!(u.has_space());
+        u.push_task(task);
+        u.push_task(task);
+        assert!(!u.has_space());
+    }
+
+    #[test]
+    fn line_arrival_fills_cache_and_clears_pending() {
+        let mut u = unit();
+        u.pending_lines.push(64);
+        assert!(!u.is_quiescent());
+        u.line_arrived(64);
+        assert!(u.cache.contains(64));
+        assert!(u.is_quiescent());
+    }
+
+    #[test]
+    fn quiescence_requires_idle_streams() {
+        let mut u = unit();
+        assert!(u.is_quiescent());
+        u.streams[0].active = Some(ActiveGen {
+            task: GenTask {
+                vertex: VertexId::new(1),
+                basis: 0.5,
+                degree: 1,
+                depth: 2,
+                queued_at: Cycle::ZERO,
+            },
+            next_edge: 0,
+            edge_wait: 0,
+            gen_cycles: 0,
+        });
+        assert!(!u.is_quiescent());
+    }
+}

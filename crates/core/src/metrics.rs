@@ -1,0 +1,209 @@
+//! Execution metrics backing every figure of the evaluation.
+
+use gp_mem::MemStats;
+use gp_sim::stats::{Average, StateTimeline};
+use serde::Serialize;
+
+use crate::EnergyReport;
+
+/// Lookahead-degree buckets exactly as Fig. 8 of the paper:
+/// `0, <100, <200, <300, <400, >400`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct LookaheadBuckets {
+    /// Events with zero lookahead (never coalesced across iterations).
+    pub zero: u64,
+    /// Lookahead in `1..100`.
+    pub lt100: u64,
+    /// Lookahead in `100..200`.
+    pub lt200: u64,
+    /// Lookahead in `200..300`.
+    pub lt300: u64,
+    /// Lookahead in `300..400`.
+    pub lt400: u64,
+    /// Lookahead `>= 400`.
+    pub ge400: u64,
+}
+
+impl LookaheadBuckets {
+    /// Records one event's lookahead.
+    pub fn record(&mut self, lookahead: u32) {
+        match lookahead {
+            0 => self.zero += 1,
+            1..=99 => self.lt100 += 1,
+            100..=199 => self.lt200 += 1,
+            200..=299 => self.lt300 += 1,
+            300..=399 => self.lt400 += 1,
+            _ => self.ge400 += 1,
+        }
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.zero + self.lt100 + self.lt200 + self.lt300 + self.lt400 + self.ge400
+    }
+
+    /// Rows as `(label, count)` pairs in Fig. 8 order.
+    pub fn rows(&self) -> [(&'static str, u64); 6] {
+        [
+            ("0", self.zero),
+            ("<100", self.lt100),
+            ("<200", self.lt200),
+            ("<300", self.lt300),
+            ("<400", self.lt400),
+            (">400", self.ge400),
+        ]
+    }
+}
+
+/// Per-round counters (Figs. 4 and 8).
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct RoundMetrics {
+    /// Scheduler round number (one pass over all bins).
+    pub round: u64,
+    /// Events generated during the round, before coalescing.
+    pub produced: u64,
+    /// Events merged into an existing queue slot during the round.
+    pub coalesced_away: u64,
+    /// Events drained from the queue (issued to processors).
+    pub drained: u64,
+    /// Queue occupancy (pending unique events) at the end of the round.
+    pub remaining: u64,
+    /// Lookahead distribution of the events drained this round.
+    pub lookahead: LookaheadBuckets,
+}
+
+/// Mean cycles an event spends in each execution stage, in the
+/// chronological order of the paper's Fig. 13.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct StageAverages {
+    /// Waiting in the processor input buffer for vertex data (Vtx Mem).
+    pub vtx_mem: Average,
+    /// In the apply pipeline (Process).
+    pub process: Average,
+    /// Waiting in the generation buffer for a free stream (Gen-Buffer).
+    pub gen_buffer: Average,
+    /// Stalled on edge-list memory during generation (Edge Mem).
+    pub edge_mem: Average,
+    /// Actively producing/routing outgoing events (Generate).
+    pub generate: Average,
+}
+
+impl StageAverages {
+    /// `(label, mean_cycles)` rows, chronological (bottom-to-top in Fig. 13).
+    pub fn rows(&self) -> [(&'static str, f64); 5] {
+        [
+            ("Vtx Mem", self.vtx_mem.mean()),
+            ("Process", self.process.mean()),
+            ("Gen-Buffer", self.gen_buffer.mean()),
+            ("Edge Mem", self.edge_mem.mean()),
+            ("Generate", self.generate.mean()),
+        ]
+    }
+}
+
+/// Names of processor states tracked for Fig. 14 (left bars).
+pub const PROC_STATES: [&str; 4] = ["vertex-read", "process", "stalling", "idle"];
+/// Names of generation-stream states tracked for Fig. 14 (right bars).
+pub const GEN_STATES: [&str; 4] = ["edge-read", "generate", "stalling", "idle"];
+
+/// Everything measured during one accelerator run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExecutionReport {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Simulated wall-clock seconds at the configured frequency.
+    pub seconds: f64,
+    /// Scheduler rounds executed.
+    pub rounds: u64,
+    /// Graph slices the run used (1 = no partitioning).
+    pub slices: u64,
+    /// Slice activations (swap-ins), including the first.
+    pub slice_activations: u64,
+    /// Events processed (drained and applied).
+    pub events_processed: u64,
+    /// Events generated, before coalescing.
+    pub events_generated: u64,
+    /// Events eliminated by in-queue coalescing.
+    pub events_coalesced: u64,
+    /// Events spilled off-chip to other slices.
+    pub events_spilled: u64,
+    /// Per-round counters (Figs. 4, 8).
+    pub rounds_log: Vec<RoundMetrics>,
+    /// Per-event stage latencies (Fig. 13).
+    pub stages: StageAverages,
+    /// Aggregated processor state timeline (Fig. 14 left).
+    pub proc_timeline: StateTimeline,
+    /// Aggregated generation-stream state timeline (Fig. 14 right).
+    pub gen_timeline: StateTimeline,
+    /// Off-chip memory statistics (Figs. 11, 12).
+    pub memory: MemStats,
+    /// Edge cache hits/misses across generation units.
+    pub edge_cache_hits: u64,
+    /// Edge cache misses across generation units.
+    pub edge_cache_misses: u64,
+    /// Energy/area estimate (Table V).
+    pub energy: EnergyReport,
+}
+
+impl ExecutionReport {
+    /// Fraction of generated events that were eliminated by coalescing
+    /// (the paper reports >90% for PageRank on LiveJournal).
+    pub fn coalesce_rate(&self) -> f64 {
+        if self.events_generated == 0 {
+            0.0
+        } else {
+            self.events_coalesced as f64 / self.events_generated as f64
+        }
+    }
+
+    /// Aggregate lookahead distribution over all rounds.
+    pub fn total_lookahead(&self) -> LookaheadBuckets {
+        let mut total = LookaheadBuckets::default();
+        for r in &self.rounds_log {
+            total.zero += r.lookahead.zero;
+            total.lt100 += r.lookahead.lt100;
+            total.lt200 += r.lookahead.lt200;
+            total.lt300 += r.lookahead.lt300;
+            total.lt400 += r.lookahead.lt400;
+            total.ge400 += r.lookahead.ge400;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookahead_bucket_boundaries_match_fig8() {
+        let mut b = LookaheadBuckets::default();
+        for v in [0, 1, 99, 100, 199, 200, 299, 300, 399, 400, 10_000] {
+            b.record(v);
+        }
+        assert_eq!(b.zero, 1);
+        assert_eq!(b.lt100, 2);
+        assert_eq!(b.lt200, 2);
+        assert_eq!(b.lt300, 2);
+        assert_eq!(b.lt400, 2);
+        assert_eq!(b.ge400, 2);
+        assert_eq!(b.total(), 11);
+    }
+
+    #[test]
+    fn bucket_rows_are_ordered() {
+        let b = LookaheadBuckets::default();
+        let labels: Vec<_> = b.rows().iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, vec!["0", "<100", "<200", "<300", "<400", ">400"]);
+    }
+
+    #[test]
+    fn stage_rows_follow_fig13_order() {
+        let s = StageAverages::default();
+        let labels: Vec<_> = s.rows().iter().map(|(l, _)| *l).collect();
+        assert_eq!(
+            labels,
+            vec!["Vtx Mem", "Process", "Gen-Buffer", "Edge Mem", "Generate"]
+        );
+    }
+}

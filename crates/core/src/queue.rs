@@ -1,0 +1,335 @@
+//! The in-place coalescing event queue (§IV-D).
+
+use std::collections::VecDeque;
+
+use gp_algorithms::DeltaAlgorithm;
+use gp_sim::{Cycle, Pipeline};
+
+use crate::{Event, QueueConfig};
+
+/// Where a slice-local vertex index lives inside the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SlotAddr {
+    pub bin: usize,
+    pub row: usize,
+    pub col: usize,
+}
+
+/// Column-bin-row mapping (§IV-D): consecutive vertices fill a row's
+/// columns, consecutive rows spread across bins.
+///
+/// Wait — the paper maps "in column-bin-row order so that clusters in the
+/// graph are likely to spread over multiple bins" while §IV-B wants blocks
+/// of nearby vertices in the same bin row for drain locality. Filling the
+/// columns of one row first, then moving to the next *bin* (same row
+/// index), satisfies both: a drained row is a block of `cols` consecutive
+/// vertices, and consecutive blocks land in different bins.
+pub(crate) fn slot_of(local_index: usize, cfg: &QueueConfig) -> SlotAddr {
+    let col = local_index % cfg.cols;
+    let bin = (local_index / cfg.cols) % cfg.bins;
+    let row = local_index / (cfg.cols * cfg.bins);
+    SlotAddr { bin, row, col }
+}
+
+/// First slice-local vertex index of `row` in `bin` (the drained block's
+/// base vertex).
+pub(crate) fn row_base_index(bin: usize, row: usize, cfg: &QueueConfig) -> usize {
+    (row * cfg.bins + bin) * cfg.cols
+}
+
+/// Outcome of offering an event to a bin's insertion port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum InsertOutcome {
+    /// Stored into an empty slot.
+    Inserted,
+    /// Combined with an event already in the slot.
+    Coalesced,
+}
+
+/// One direct-mapped, coalescing queue bin.
+///
+/// Timing model: one insertion may *initiate* per cycle; the
+/// read–combine–write occupies a `coalescer_depth`-stage pipeline, and a
+/// second insertion touching the same row stalls until the first retires
+/// (structural hazard on the row's RAM block). Draining reads one whole row
+/// per cycle, sweeping row indices upward once per scheduler round;
+/// insertions to a bin stall during its drain cycles (§IV-D).
+#[derive(Debug)]
+pub(crate) struct Bin<D> {
+    rows: usize,
+    cols: usize,
+    slots: Vec<Option<Event<D>>>,
+    row_counts: Vec<u16>,
+    occupancy: usize,
+    /// Network-side input FIFO.
+    input: VecDeque<(SlotAddr, Event<D>)>,
+    input_cap: usize,
+    /// Rows with an in-flight insertion (hazard window).
+    inflight: Pipeline<usize>,
+    /// Next row the drain sweep will consider this round.
+    sweep: usize,
+    /// Cycle in which the scheduler last drained this bin (insertion is
+    /// stalled for that cycle, §IV-D).
+    drained_at: Option<Cycle>,
+}
+
+impl<D: Copy> Bin<D> {
+    pub(crate) fn new(cfg: &QueueConfig, input_cap: usize, coalescer_depth: u64) -> Self {
+        Bin {
+            rows: cfg.rows,
+            cols: cfg.cols,
+            slots: vec![None; cfg.rows * cfg.cols],
+            row_counts: vec![0; cfg.rows],
+            occupancy: 0,
+            input: VecDeque::with_capacity(input_cap),
+            input_cap,
+            inflight: Pipeline::new(coalescer_depth),
+            sweep: 0,
+            drained_at: None,
+        }
+    }
+
+    /// Whether the network can hand this bin another event.
+    pub(crate) fn can_accept(&self) -> bool {
+        self.input.len() < self.input_cap
+    }
+
+    /// Queues an event at the insertion port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input FIFO is full; gate with [`Bin::can_accept`].
+    pub(crate) fn accept(&mut self, slot: SlotAddr, ev: Event<D>) {
+        assert!(self.can_accept(), "bin input fifo overflow");
+        self.input.push_back((slot, ev));
+    }
+
+    /// Directly installs an event, bypassing the timing pipeline — used for
+    /// host-side initial-event loading and slice swap-in (the paper loads
+    /// initial events from the host, §III-B, and swap-in uses the bins'
+    /// parallel insertion units, §IV-F).
+    pub(crate) fn install<A>(&mut self, algo: &A, slot: SlotAddr, ev: Event<D>) -> InsertOutcome
+    where
+        A: DeltaAlgorithm<Delta = D>,
+    {
+        self.write_slot(algo, slot, ev)
+    }
+
+    fn write_slot<A>(&mut self, algo: &A, slot: SlotAddr, ev: Event<D>) -> InsertOutcome
+    where
+        A: DeltaAlgorithm<Delta = D>,
+    {
+        let idx = slot.row * self.cols + slot.col;
+        match &mut self.slots[idx] {
+            Some(existing) => {
+                debug_assert_eq!(existing.target, ev.target, "slot aliasing");
+                existing.delta = algo.coalesce(existing.delta, ev.delta);
+                existing.meta = existing.meta.merge(ev.meta);
+                InsertOutcome::Coalesced
+            }
+            empty @ None => {
+                *empty = Some(ev);
+                self.row_counts[slot.row] += 1;
+                self.occupancy += 1;
+                InsertOutcome::Inserted
+            }
+        }
+    }
+
+    /// One cycle of the insertion port. Returns the outcome if an event was
+    /// consumed from the input FIFO.
+    pub(crate) fn tick_insert<A>(&mut self, now: Cycle, algo: &A) -> Option<InsertOutcome>
+    where
+        A: DeltaAlgorithm<Delta = D>,
+    {
+        while self.inflight.retire(now).is_some() {}
+        if self.drained_at == Some(now) {
+            return None;
+        }
+        if !self.inflight.can_issue(now) {
+            return None;
+        }
+        let Some((slot, _)) = self.input.front() else {
+            return None;
+        };
+        let row = slot.row;
+        if self.inflight.iter().any(|r| *r == row) {
+            return None; // same-row hazard: stall until the write retires
+        }
+        let (slot, ev) = self.input.pop_front().expect("checked front");
+        self.inflight.issue(now, row);
+        Some(self.write_slot(algo, slot, ev))
+    }
+
+    /// The next occupied row the sweep would drain, if any — `(row, count)`.
+    pub(crate) fn peek_drain(&self) -> Option<(usize, usize)> {
+        // Skip rows the coalescer is still writing (read-write hazard).
+        (self.sweep..self.rows).find_map(|r| {
+            if self.row_counts[r] == 0 {
+                None
+            } else if self.inflight.iter().any(|ir| *ir == r) {
+                Some((r, 0)) // present but busy: caller must retry
+            } else {
+                Some((r, self.row_counts[r] as usize))
+            }
+        })
+    }
+
+    /// Drains one row (the one [`Bin::peek_drain`] reported), returning its
+    /// events in column order. Marks the bin busy for insertion this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is empty (callers drain only peeked rows).
+    pub(crate) fn drain_row(&mut self, row: usize, now: Cycle) -> Vec<Event<D>> {
+        assert!(self.row_counts[row] > 0, "draining an empty row");
+        let mut out = Vec::with_capacity(self.row_counts[row] as usize);
+        for col in 0..self.cols {
+            if let Some(ev) = self.slots[row * self.cols + col].take() {
+                out.push(ev);
+            }
+        }
+        self.occupancy -= out.len();
+        self.row_counts[row] = 0;
+        self.sweep = row + 1;
+        self.drained_at = Some(now);
+        out
+    }
+
+    /// Resets the drain sweep for a new scheduler round.
+    pub(crate) fn reset_sweep(&mut self) {
+        self.sweep = 0;
+    }
+
+    /// Unique pending events stored in the bin.
+    pub(crate) fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Whether the input FIFO and the insertion pipeline are both empty.
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.input.is_empty() && self.inflight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_algorithms::PageRankDelta;
+    use gp_graph::VertexId;
+
+    fn cfg() -> QueueConfig {
+        QueueConfig {
+            bins: 2,
+            rows: 4,
+            cols: 4,
+        }
+    }
+
+    #[test]
+    fn mapping_is_column_bin_row_and_bijective() {
+        let c = cfg();
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..c.capacity() {
+            let s = slot_of(l, &c);
+            assert!(s.bin < c.bins && s.row < c.rows && s.col < c.cols);
+            assert!(seen.insert((s.bin, s.row, s.col)), "collision at {l}");
+        }
+        // Consecutive vertices share a row until the columns run out...
+        assert_eq!(slot_of(0, &c), SlotAddr { bin: 0, row: 0, col: 0 });
+        assert_eq!(slot_of(3, &c), SlotAddr { bin: 0, row: 0, col: 3 });
+        // ...then move to the next bin, same row.
+        assert_eq!(slot_of(4, &c), SlotAddr { bin: 1, row: 0, col: 0 });
+        // ...and only then to the next row.
+        assert_eq!(slot_of(8, &c), SlotAddr { bin: 0, row: 1, col: 0 });
+        // row_base_index inverts the mapping for whole rows.
+        assert_eq!(row_base_index(1, 0, &c), 4);
+        assert_eq!(row_base_index(0, 1, &c), 8);
+    }
+
+    #[test]
+    fn insert_then_coalesce() {
+        let pr = PageRankDelta::new(0.85, 0.0);
+        let mut bin: Bin<f64> = Bin::new(&cfg(), 8, 4);
+        let slot = SlotAddr { bin: 0, row: 0, col: 0 };
+        bin.accept(slot, Event::new(VertexId::new(0), 1.0, 0));
+        bin.accept(slot, Event::new(VertexId::new(0), 2.0, 5));
+
+        let mut now = Cycle::ZERO;
+        assert_eq!(bin.tick_insert(now, &pr), Some(InsertOutcome::Inserted));
+        // Second event to the same row stalls until the pipeline retires.
+        now = now.next();
+        assert_eq!(bin.tick_insert(now, &pr), None);
+        for _ in 0..4 {
+            now = now.next();
+        }
+        assert_eq!(bin.tick_insert(now, &pr), Some(InsertOutcome::Coalesced));
+        assert_eq!(bin.occupancy(), 1);
+
+        let evs = bin.drain_row(0, now);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].delta, 3.0);
+        assert_eq!(evs[0].meta.lookahead(), 5);
+        assert_eq!(bin.occupancy(), 0);
+    }
+
+    #[test]
+    fn different_rows_insert_back_to_back() {
+        let pr = PageRankDelta::new(0.85, 0.0);
+        let mut bin: Bin<f64> = Bin::new(&cfg(), 8, 4);
+        bin.accept(SlotAddr { bin: 0, row: 0, col: 0 }, Event::new(VertexId::new(0), 1.0, 0));
+        bin.accept(SlotAddr { bin: 0, row: 1, col: 0 }, Event::new(VertexId::new(8), 1.0, 0));
+        assert!(bin.tick_insert(Cycle::new(0), &pr).is_some());
+        assert!(bin.tick_insert(Cycle::new(1), &pr).is_some());
+        assert_eq!(bin.occupancy(), 2);
+    }
+
+    #[test]
+    fn sweep_visits_each_row_once_per_round() {
+        let pr = PageRankDelta::new(0.85, 0.0);
+        let mut bin: Bin<f64> = Bin::new(&cfg(), 8, 1);
+        for (i, row) in [0usize, 2].iter().enumerate() {
+            bin.accept(
+                SlotAddr { bin: 0, row: *row, col: 0 },
+                Event::new(VertexId::new(i as u32), 1.0, 0),
+            );
+            bin.tick_insert(Cycle::new(i as u64), &pr);
+        }
+        assert_eq!(bin.peek_drain().map(|(r, _)| r), Some(0));
+        bin.drain_row(0, Cycle::new(4));
+        assert_eq!(bin.peek_drain().map(|(r, _)| r), Some(2));
+        bin.drain_row(2, Cycle::new(5));
+        assert_eq!(bin.peek_drain(), None);
+        // An event inserted behind the sweep waits for the next round.
+        bin.accept(SlotAddr { bin: 0, row: 1, col: 1 }, Event::new(VertexId::new(9), 1.0, 0));
+        bin.tick_insert(Cycle::new(10), &pr);
+        assert_eq!(bin.peek_drain(), None);
+        bin.reset_sweep();
+        assert_eq!(bin.peek_drain().map(|(r, _)| r), Some(1));
+    }
+
+    #[test]
+    fn drain_blocks_insert_same_cycle() {
+        let pr = PageRankDelta::new(0.85, 0.0);
+        let mut bin: Bin<f64> = Bin::new(&cfg(), 8, 1);
+        bin.accept(SlotAddr { bin: 0, row: 0, col: 0 }, Event::new(VertexId::new(0), 1.0, 0));
+        bin.tick_insert(Cycle::new(0), &pr);
+        bin.accept(SlotAddr { bin: 0, row: 3, col: 0 }, Event::new(VertexId::new(1), 1.0, 0));
+        bin.drain_row(0, Cycle::new(5));
+        assert_eq!(bin.tick_insert(Cycle::new(5), &pr), None); // stalled by drain
+        assert!(bin.tick_insert(Cycle::new(6), &pr).is_some());
+    }
+
+    #[test]
+    fn quiescence_reflects_buffers() {
+        let pr = PageRankDelta::new(0.85, 0.0);
+        let mut bin: Bin<f64> = Bin::new(&cfg(), 8, 2);
+        assert!(bin.is_quiescent());
+        bin.accept(SlotAddr { bin: 0, row: 0, col: 0 }, Event::new(VertexId::new(0), 1.0, 0));
+        assert!(!bin.is_quiescent());
+        bin.tick_insert(Cycle::new(0), &pr);
+        assert!(!bin.is_quiescent()); // still in the coalescer pipeline
+        bin.tick_insert(Cycle::new(3), &pr); // retires the write
+        assert!(bin.is_quiescent());
+    }
+}

@@ -1,0 +1,219 @@
+//! Edge-list to CSR construction.
+
+use crate::{CsrGraph, VertexId};
+
+/// Accumulates an edge list and assembles a [`CsrGraph`].
+///
+/// A non-consuming builder (configuration methods take `&mut self`); the
+/// terminal [`GraphBuilder::build`] consumes the accumulated edges.
+///
+/// * `dedup(true)` (default) removes parallel edges, keeping the first
+///   weight in neighbor-sorted order.
+/// * `drop_self_loops(true)` (default) removes `v -> v` edges, which
+///   delta-accumulative algorithms treat as no-ops anyway.
+/// * `symmetric(true)` inserts the reverse of every edge (social-network
+///   style undirected graphs).
+/// * `weighted(true)` marks the graph as carrying meaningful weights.
+///
+/// # Examples
+///
+/// ```
+/// use gp_graph::{GraphBuilder, VertexId};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(VertexId::new(0), VertexId::new(1), 1.0);
+/// b.add_edge(VertexId::new(0), VertexId::new(1), 9.0); // duplicate, dropped
+/// b.symmetric(true);
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2); // 0->1 and 1->0
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_vertices: u32,
+    edges: Vec<(u32, u32, f32)>,
+    dedup: bool,
+    drop_self_loops: bool,
+    symmetric: bool,
+    weighted: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices: u32::try_from(num_vertices).expect("vertex count exceeds u32"),
+            edges: Vec::new(),
+            dedup: true,
+            drop_self_loops: true,
+            symmetric: false,
+            weighted: false,
+        }
+    }
+
+    /// Adds a directed edge `src -> dst` with `weight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, weight: f32) -> &mut Self {
+        assert!(
+            src.get() < self.num_vertices && dst.get() < self.num_vertices,
+            "edge ({src}, {dst}) out of range for {} vertices",
+            self.num_vertices
+        );
+        self.edges.push((src.get(), dst.get(), weight));
+        self
+    }
+
+    /// Bulk-adds unweighted edges (weight `1.0`).
+    pub fn extend_unweighted<I>(&mut self, edges: I) -> &mut Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        for (s, d) in edges {
+            self.add_edge(s, d, 1.0);
+        }
+        self
+    }
+
+    /// Whether to remove parallel edges (default `true`).
+    pub fn dedup(&mut self, yes: bool) -> &mut Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Whether to remove self loops (default `true`).
+    pub fn drop_self_loops(&mut self, yes: bool) -> &mut Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Whether to mirror every edge (default `false`).
+    pub fn symmetric(&mut self, yes: bool) -> &mut Self {
+        self.symmetric = yes;
+        self
+    }
+
+    /// Whether the weights are meaningful (default `false`).
+    pub fn weighted(&mut self, yes: bool) -> &mut Self {
+        self.weighted = yes;
+        self
+    }
+
+    /// Number of edges currently accumulated (before dedup/symmetrize).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sorts, optionally deduplicates and symmetrizes, and assembles the CSR.
+    pub fn build(&self) -> CsrGraph {
+        let mut edges = self.edges.clone();
+        if self.symmetric {
+            let mirrored: Vec<_> = edges.iter().map(|&(s, d, w)| (d, s, w)).collect();
+            edges.extend(mirrored);
+        }
+        if self.drop_self_loops {
+            edges.retain(|&(s, d, _)| s != d);
+        }
+        edges.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        if self.dedup {
+            edges.dedup_by_key(|e| (e.0, e.1));
+        }
+
+        let n = self.num_vertices as usize;
+        let mut offsets = vec![0u32; n + 1];
+        for &(s, _, _) in &edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let neighbors: Vec<VertexId> = edges.iter().map(|&(_, d, _)| VertexId::new(d)).collect();
+        let weights: Vec<f32> = edges.iter().map(|&(_, _, w)| w).collect();
+
+        CsrGraph::from_parts(self.num_vertices, offsets, neighbors, weights, self.weighted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_keeps_first_sorted_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(VertexId::new(0), VertexId::new(1), 5.0);
+        b.add_edge(VertexId::new(0), VertexId::new(1), 7.0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        let e: Vec<_> = g.out_edges(VertexId::new(0)).collect();
+        assert_eq!(e[0].weight, 5.0);
+    }
+
+    #[test]
+    fn no_dedup_keeps_parallel_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(VertexId::new(0), VertexId::new(1), 1.0);
+        b.add_edge(VertexId::new(0), VertexId::new(1), 1.0);
+        b.dedup(false);
+        assert_eq!(b.build().num_edges(), 2);
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(VertexId::new(0), VertexId::new(0), 1.0);
+        b.add_edge(VertexId::new(0), VertexId::new(1), 1.0);
+        assert_eq!(b.build().num_edges(), 1);
+        b.drop_self_loops(false);
+        assert_eq!(b.build().num_edges(), 2);
+    }
+
+    #[test]
+    fn symmetric_mirrors_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(VertexId::new(0), VertexId::new(2), 4.0);
+        b.symmetric(true);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(VertexId::new(2)), &[VertexId::new(0)]);
+        let back: Vec<_> = g.out_edges(VertexId::new(2)).collect();
+        assert_eq!(back[0].weight, 4.0);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut b = GraphBuilder::new(5);
+        for d in [4u32, 1, 3, 2] {
+            b.add_edge(VertexId::new(0), VertexId::new(d), 1.0);
+        }
+        let g = b.build();
+        let ns: Vec<u32> = g.out_neighbors(VertexId::new(0)).iter().map(|v| v.get()).collect();
+        assert_eq!(ns, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(VertexId::new(0), VertexId::new(2), 1.0);
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn extend_unweighted_defaults_weight_one() {
+        let mut b = GraphBuilder::new(3);
+        b.extend_unweighted([(VertexId::new(0), VertexId::new(1))]);
+        let g = b.build();
+        let e: Vec<_> = g.out_edges(VertexId::new(0)).collect();
+        assert_eq!(e[0].weight, 1.0);
+        assert!(!g.is_weighted());
+    }
+}

@@ -1,0 +1,379 @@
+//! Compressed Sparse Row graph storage.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::VertexId;
+
+/// A directed graph in Compressed Sparse Row form, with both out- and
+/// in-adjacency and optional `f32` edge weights.
+///
+/// This is the memory layout the accelerator streams (§IV-E of the paper:
+/// "The graph is stored in a Compressed Sparse Row format in memory"): a
+/// per-vertex offset array into a flat neighbor array, with a parallel
+/// weight array when the algorithm needs weights (SSSP, Adsorption).
+///
+/// The in-adjacency mirror is built eagerly; the pull-direction software
+/// baseline (Ligra-style `edge_map` in dense mode) requires it, and keeping
+/// both directions matches what graph frameworks load in practice.
+///
+/// Construct via [`GraphBuilder`](crate::GraphBuilder) or the
+/// [`generators`](crate::generators).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    num_vertices: u32,
+    /// `out_offsets[v]..out_offsets[v+1]` indexes `out_neighbors`/`weights`.
+    out_offsets: Vec<u32>,
+    out_neighbors: Vec<VertexId>,
+    /// Same length as `out_neighbors`; all `1.0` for unweighted graphs.
+    out_weights: Vec<f32>,
+    in_offsets: Vec<u32>,
+    in_neighbors: Vec<VertexId>,
+    in_weights: Vec<f32>,
+    weighted: bool,
+}
+
+/// One edge observed while iterating adjacency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRef {
+    /// The vertex on the far end of the edge.
+    pub other: VertexId,
+    /// Edge weight (`1.0` on unweighted graphs).
+    pub weight: f32,
+}
+
+impl CsrGraph {
+    /// Assembles a graph from raw CSR arrays; used by the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the offset arrays are malformed.
+    pub(crate) fn from_parts(
+        num_vertices: u32,
+        out_offsets: Vec<u32>,
+        out_neighbors: Vec<VertexId>,
+        out_weights: Vec<f32>,
+        weighted: bool,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), num_vertices as usize + 1);
+        debug_assert_eq!(*out_offsets.last().unwrap() as usize, out_neighbors.len());
+        debug_assert_eq!(out_neighbors.len(), out_weights.len());
+
+        // Build the in-CSR mirror by counting sort over destinations.
+        let n = num_vertices as usize;
+        let mut in_degrees = vec![0u32; n];
+        for dst in &out_neighbors {
+            in_degrees[dst.index()] += 1;
+        }
+        let mut in_offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            in_offsets[v + 1] = in_offsets[v] + in_degrees[v];
+        }
+        let m = out_neighbors.len();
+        let mut in_neighbors = vec![VertexId::default(); m];
+        let mut in_weights = vec![0.0f32; m];
+        let mut cursor = in_offsets[..n].to_vec();
+        for src in 0..n {
+            let lo = out_offsets[src] as usize;
+            let hi = out_offsets[src + 1] as usize;
+            for e in lo..hi {
+                let dst = out_neighbors[e].index();
+                let slot = cursor[dst] as usize;
+                in_neighbors[slot] = VertexId::from_index(src);
+                in_weights[slot] = out_weights[e];
+                cursor[dst] += 1;
+            }
+        }
+
+        CsrGraph {
+            num_vertices,
+            out_offsets,
+            out_neighbors,
+            out_weights,
+            in_offsets,
+            in_neighbors,
+            in_weights,
+            weighted,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices as usize
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_neighbors.len()
+    }
+
+    /// Whether the graph carries meaningful edge weights.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices).map(VertexId::new)
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        self.out_offsets[v.index() + 1] - self.out_offsets[v.index()]
+    }
+
+    /// In-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> u32 {
+        self.in_offsets[v.index() + 1] - self.in_offsets[v.index()]
+    }
+
+    /// Out-neighbors of `v` as a slice.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        &self.out_neighbors[lo..hi]
+    }
+
+    /// In-neighbors of `v` as a slice.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        &self.in_neighbors[lo..hi]
+    }
+
+    /// Out-edges of `v` with weights.
+    #[inline]
+    pub fn out_edges(&self, v: VertexId) -> OutEdges<'_> {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        OutEdges {
+            neighbors: &self.out_neighbors[lo..hi],
+            weights: &self.out_weights[lo..hi],
+            pos: 0,
+        }
+    }
+
+    /// In-edges of `v` with weights.
+    #[inline]
+    pub fn in_edges(&self, v: VertexId) -> OutEdges<'_> {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        OutEdges {
+            neighbors: &self.in_neighbors[lo..hi],
+            weights: &self.in_weights[lo..hi],
+            pos: 0,
+        }
+    }
+
+    /// The `i`-th out-edge of `v` (CSR order). Constant time; used by the
+    /// accelerator's generation streams, which walk edge lists by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= out_degree(v)`.
+    #[inline]
+    pub fn out_edge(&self, v: VertexId, i: u32) -> EdgeRef {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        let idx = lo + i as usize;
+        assert!(idx < hi, "edge index {i} out of range for {v}");
+        EdgeRef {
+            other: self.out_neighbors[idx],
+            weight: self.out_weights[idx],
+        }
+    }
+
+    /// Global flat index of the first out-edge of `v`.
+    ///
+    /// The accelerator's memory model uses this to compute the DRAM address
+    /// of a vertex's edge list.
+    #[inline]
+    pub fn out_edge_base(&self, v: VertexId) -> usize {
+        self.out_offsets[v.index()] as usize
+    }
+
+    /// Sum of out-degrees over `lo..hi` — edge work in a vertex range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn edges_in_range(&self, lo: VertexId, hi: VertexId) -> usize {
+        (self.out_offsets[hi.index()] - self.out_offsets[lo.index()]) as usize
+    }
+
+    /// Validates structural invariants; exercised by tests and `proptest`.
+    ///
+    /// Checks: offsets are monotone and bounded, in/out edge counts agree,
+    /// every neighbor id is in range, and weights arrays are aligned.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.num_vertices as usize;
+        if self.out_offsets.len() != n + 1 || self.in_offsets.len() != n + 1 {
+            return Err("offset array length mismatch".into());
+        }
+        for w in self.out_offsets.windows(2).chain(self.in_offsets.windows(2)) {
+            if w[0] > w[1] {
+                return Err("offsets not monotone".into());
+            }
+        }
+        if *self.out_offsets.last().unwrap() as usize != self.out_neighbors.len() {
+            return Err("out offset tail mismatch".into());
+        }
+        if *self.in_offsets.last().unwrap() as usize != self.in_neighbors.len() {
+            return Err("in offset tail mismatch".into());
+        }
+        if self.out_neighbors.len() != self.in_neighbors.len() {
+            return Err("in/out edge count mismatch".into());
+        }
+        if self.out_neighbors.len() != self.out_weights.len()
+            || self.in_neighbors.len() != self.in_weights.len()
+        {
+            return Err("weight array mismatch".into());
+        }
+        if self
+            .out_neighbors
+            .iter()
+            .chain(self.in_neighbors.iter())
+            .any(|v| v.index() >= n)
+        {
+            return Err("neighbor id out of range".into());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CsrGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrGraph({} vertices, {} edges, {})",
+            self.num_vertices(),
+            self.num_edges(),
+            if self.weighted { "weighted" } else { "unweighted" }
+        )
+    }
+}
+
+/// Iterator over the (out- or in-) edges of one vertex.
+///
+/// Produced by [`CsrGraph::out_edges`] and [`CsrGraph::in_edges`].
+#[derive(Debug, Clone)]
+pub struct OutEdges<'a> {
+    neighbors: &'a [VertexId],
+    weights: &'a [f32],
+    pos: usize,
+}
+
+impl Iterator for OutEdges<'_> {
+    type Item = EdgeRef;
+
+    fn next(&mut self) -> Option<EdgeRef> {
+        if self.pos < self.neighbors.len() {
+            let e = EdgeRef {
+                other: self.neighbors[self.pos],
+                weight: self.weights[self.pos],
+            };
+            self.pos += 1;
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.neighbors.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for OutEdges<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(VertexId::new(0), VertexId::new(1), 1.0);
+        b.add_edge(VertexId::new(0), VertexId::new(2), 2.0);
+        b.add_edge(VertexId::new(1), VertexId::new(3), 3.0);
+        b.add_edge(VertexId::new(2), VertexId::new(3), 4.0);
+        b.weighted(true);
+        b.build()
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(VertexId::new(0)), 2);
+        assert_eq!(g.in_degree(VertexId::new(3)), 2);
+        assert_eq!(
+            g.out_neighbors(VertexId::new(0)),
+            &[VertexId::new(1), VertexId::new(2)]
+        );
+        assert_eq!(
+            g.in_neighbors(VertexId::new(3)),
+            &[VertexId::new(1), VertexId::new(2)]
+        );
+    }
+
+    #[test]
+    fn in_edges_carry_matching_weights() {
+        let g = diamond();
+        let in3: Vec<_> = g.in_edges(VertexId::new(3)).collect();
+        assert_eq!(in3.len(), 2);
+        let w1 = in3.iter().find(|e| e.other == VertexId::new(1)).unwrap();
+        assert_eq!(w1.weight, 3.0);
+        let w2 = in3.iter().find(|e| e.other == VertexId::new(2)).unwrap();
+        assert_eq!(w2.weight, 4.0);
+    }
+
+    #[test]
+    fn invariants_hold() {
+        diamond().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn out_edges_iterator_is_exact_size() {
+        let g = diamond();
+        let it = g.out_edges(VertexId::new(0));
+        assert_eq!(it.len(), 2);
+        let edges: Vec<_> = it.collect();
+        assert_eq!(edges[0].other, VertexId::new(1));
+        assert_eq!(edges[0].weight, 1.0);
+    }
+
+    #[test]
+    fn edges_in_range_counts_row_sums() {
+        let g = diamond();
+        assert_eq!(g.edges_in_range(VertexId::new(0), VertexId::new(2)), 3);
+        assert_eq!(g.edges_in_range(VertexId::new(0), VertexId::new(4)), 4);
+        assert_eq!(g.edges_in_range(VertexId::new(3), VertexId::new(4)), 0);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let s = diamond().to_string();
+        assert!(s.contains("4 vertices"));
+        assert!(s.contains("4 edges"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Barabási–Albert preferential-attachment generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::WeightMode;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Generates a Barabási–Albert scale-free graph.
+///
+/// Starts from a small seed clique and attaches every new vertex to
+/// `edges_per_vertex` existing vertices chosen with probability proportional
+/// to their degree (implemented with the standard repeated-endpoint trick:
+/// sampling a uniform endpoint from the running edge list is exactly
+/// degree-proportional sampling). Edges are inserted in both directions so
+/// the result is symmetric, mirroring undirected social networks such as the
+/// Facebook dataset of Table IV.
+///
+/// # Panics
+///
+/// Panics if `vertices < edges_per_vertex + 1` or `edges_per_vertex == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use gp_graph::generators::{barabasi_albert, WeightMode};
+/// let g = barabasi_albert(1_000, 8, WeightMode::Unweighted, 9);
+/// assert_eq!(g.num_vertices(), 1_000);
+/// ```
+pub fn barabasi_albert(
+    vertices: usize,
+    edges_per_vertex: usize,
+    weights: WeightMode,
+    seed: u64,
+) -> CsrGraph {
+    assert!(edges_per_vertex > 0, "edges_per_vertex must be nonzero");
+    assert!(
+        vertices > edges_per_vertex,
+        "need more vertices ({vertices}) than edges per vertex ({edges_per_vertex})"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(vertices);
+    weights.mark(&mut builder);
+    builder.symmetric(true);
+
+    // Flat list of edge endpoints; sampling uniformly from it is
+    // degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * vertices * edges_per_vertex);
+
+    // Seed clique over the first m+1 vertices.
+    let m = edges_per_vertex;
+    for i in 0..=m {
+        for j in (i + 1)..=m {
+            builder.add_edge(
+                VertexId::from_index(i),
+                VertexId::from_index(j),
+                weights.sample(&mut rng),
+            );
+            endpoints.push(i as u32);
+            endpoints.push(j as u32);
+        }
+    }
+
+    for v in (m + 1)..vertices {
+        let mut chosen = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 100 * m {
+            guard += 1;
+            let pick = endpoints[rng.gen_range(0..endpoints.len())];
+            if pick as usize != v && !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for &t in &chosen {
+            builder.add_edge(
+                VertexId::from_index(v),
+                VertexId::new(t),
+                weights.sample(&mut rng),
+            );
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_symmetric() {
+        let g1 = barabasi_albert(200, 4, WeightMode::Unweighted, 11);
+        let g2 = barabasi_albert(200, 4, WeightMode::Unweighted, 11);
+        assert_eq!(g1, g2);
+        for v in g1.vertices() {
+            for n in g1.out_neighbors(v) {
+                assert!(
+                    g1.out_neighbors(*n).contains(&v),
+                    "edge {v}->{n} has no mirror"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let g = barabasi_albert(2_000, 4, WeightMode::Unweighted, 1);
+        let max_deg = g.vertices().map(|v| g.out_degree(v)).max().unwrap();
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!((max_deg as f64) > 5.0 * avg);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn too_small_panics() {
+        let _ = barabasi_albert(3, 4, WeightMode::Unweighted, 0);
+    }
+}

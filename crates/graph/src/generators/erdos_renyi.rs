@@ -1,0 +1,70 @@
+//! Erdős–Rényi uniform random graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::WeightMode;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Generates a `G(n, m)` Erdős–Rényi graph: `edges` directed edges with
+/// uniformly random endpoints (self loops and duplicates removed, so the
+/// final count can be slightly lower).
+///
+/// # Panics
+///
+/// Panics if `vertices == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use gp_graph::generators::{erdos_renyi, WeightMode};
+/// let g = erdos_renyi(100, 500, WeightMode::Uniform(1.0, 10.0), 3);
+/// assert_eq!(g.num_vertices(), 100);
+/// assert!(g.is_weighted());
+/// ```
+pub fn erdos_renyi(vertices: usize, edges: usize, weights: WeightMode, seed: u64) -> CsrGraph {
+    assert!(vertices > 0, "erdos_renyi needs at least one vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(vertices);
+    weights.mark(&mut builder);
+    for _ in 0..edges {
+        let s = rng.gen_range(0..vertices);
+        let d = rng.gen_range(0..vertices);
+        builder.add_edge(
+            VertexId::from_index(s),
+            VertexId::from_index(d),
+            weights.sample(&mut rng),
+        );
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_close_to_requested() {
+        let g = erdos_renyi(1_000, 5_000, WeightMode::Unweighted, 5);
+        // Collisions remove a small fraction.
+        assert!(g.num_edges() > 4_800 && g.num_edges() <= 5_000);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            erdos_renyi(64, 128, WeightMode::Unweighted, 9),
+            erdos_renyi(64, 128, WeightMode::Unweighted, 9)
+        );
+    }
+
+    #[test]
+    fn degrees_are_roughly_uniform() {
+        let g = erdos_renyi(1_000, 20_000, WeightMode::Unweighted, 2);
+        let max_deg = g.vertices().map(|v| g.out_degree(v)).max().unwrap();
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        // Poisson tail: max should stay within a small factor of the mean.
+        assert!((max_deg as f64) < 4.0 * avg);
+    }
+}

@@ -1,0 +1,66 @@
+//! 2-D grid (road-network-like) graphs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::WeightMode;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Generates a `rows × cols` 4-connected grid with bidirectional edges.
+///
+/// Grids are the standard stand-in for road networks: bounded degree, huge
+/// diameter — the opposite corner case from power-law graphs, and a
+/// stress-test for SSSP/BFS where few vertices are active per round.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use gp_graph::generators::{grid_2d, WeightMode};
+/// let g = grid_2d(8, 8, WeightMode::Uniform(1.0, 5.0), 2);
+/// assert_eq!(g.num_vertices(), 64);
+/// ```
+pub fn grid_2d(rows: usize, cols: usize, weights: WeightMode, seed: u64) -> CsrGraph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be nonzero");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(rows * cols);
+    weights.mark(&mut builder);
+    builder.symmetric(true);
+    let at = |r: usize, c: usize| VertexId::from_index(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                builder.add_edge(at(r, c), at(r, c + 1), weights.sample(&mut rng));
+            }
+            if r + 1 < rows {
+                builder.add_edge(at(r, c), at(r + 1, c), weights.sample(&mut rng));
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_and_center_degrees() {
+        let g = grid_2d(3, 3, WeightMode::Unweighted, 0);
+        assert_eq!(g.out_degree(VertexId::new(0)), 2); // corner
+        assert_eq!(g.out_degree(VertexId::new(4)), 4); // center
+        assert_eq!(g.num_edges(), 2 * (3 * 2 + 2 * 3)); // 12 undirected = 24 directed
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn single_row_is_a_path() {
+        let g = grid_2d(1, 5, WeightMode::Unweighted, 0);
+        assert_eq!(g.num_edges(), 8); // 4 undirected edges
+        assert_eq!(g.out_degree(VertexId::new(0)), 1);
+        assert_eq!(g.out_degree(VertexId::new(2)), 2);
+    }
+}

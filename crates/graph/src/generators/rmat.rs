@@ -1,0 +1,193 @@
+//! R-MAT (recursive matrix) graph generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::WeightMode;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Parameters of the R-MAT recursive edge-placement process.
+///
+/// The classic Graph500 parameterization is `a=0.57, b=0.19, c=0.19,
+/// d=0.05`, which produces heavily skewed power-law graphs similar to web
+/// and social networks. `a + b + c + d` must be `1.0` (±1e-6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatConfig {
+    /// Number of vertices; rounded up to the next power of two internally.
+    pub vertices: usize,
+    /// Number of edge-placement attempts (final edge count is slightly lower
+    /// after deduplication and self-loop removal).
+    pub edges: usize,
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Quadrant-probability noise applied per recursion level, which avoids
+    /// the artificial self-similarity of noiseless R-MAT.
+    pub noise: f64,
+    /// Edge-weight assignment.
+    pub weights: WeightMode,
+}
+
+impl RmatConfig {
+    /// Graph500-style skew with the given size.
+    pub fn graph500(vertices: usize, edges: usize) -> Self {
+        RmatConfig {
+            vertices,
+            edges,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+            weights: WeightMode::Unweighted,
+        }
+    }
+
+    /// Sets the weight mode (builder-style convenience).
+    pub fn with_weights(mut self, weights: WeightMode) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates an R-MAT graph.
+///
+/// Vertex ids are scrambled by a fixed permutation so that the high-degree
+/// vertices are not clustered at low ids (matching relabeled real datasets).
+/// Deterministic for a given `(config, seed)` pair.
+///
+/// # Panics
+///
+/// Panics if the quadrant probabilities do not sum to 1, or if
+/// `config.vertices` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use gp_graph::generators::{rmat, RmatConfig};
+/// let g = rmat(&RmatConfig::graph500(1 << 10, 8 << 10), 42);
+/// assert_eq!(g.num_vertices(), 1 << 10);
+/// assert!(g.num_edges() > 6 << 10);
+/// ```
+pub fn rmat(config: &RmatConfig, seed: u64) -> CsrGraph {
+    assert!(config.vertices > 0, "rmat needs at least one vertex");
+    let partial = config.a + config.b + config.c;
+    assert!(
+        config.a >= 0.0 && config.b >= 0.0 && config.c >= 0.0 && partial <= 1.0 + 1e-6,
+        "rmat quadrant probabilities must be nonnegative and sum to 1 (a+b+c = {partial})"
+    );
+
+    let levels = (config.vertices as f64).log2().ceil().max(1.0) as u32;
+    let side = 1usize << levels;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Fixed multiplicative scramble maps the padded id space onto the
+    // requested vertex count while dispersing hubs.
+    let n = config.vertices as u64;
+    let scramble = |v: usize| -> u32 { ((v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n) as u32 };
+
+    let mut builder = GraphBuilder::new(config.vertices);
+    config.weights.mark(&mut builder);
+
+    for _ in 0..config.edges {
+        let (mut lo_r, mut hi_r) = (0usize, side);
+        let (mut lo_c, mut hi_c) = (0usize, side);
+        while hi_r - lo_r > 1 {
+            let jitter = |p: f64, rng: &mut StdRng| -> f64 {
+                if config.noise > 0.0 {
+                    (p * (1.0 + rng.gen_range(-config.noise..config.noise))).max(1e-9)
+                } else {
+                    p
+                }
+            };
+            let a = jitter(config.a, &mut rng);
+            let b = jitter(config.b, &mut rng);
+            let c = jitter(config.c, &mut rng);
+            let d = jitter(config.d(), &mut rng);
+            let sum = a + b + c + d;
+            let roll: f64 = rng.gen_range(0.0..sum);
+            let mid_r = (lo_r + hi_r) / 2;
+            let mid_c = (lo_c + hi_c) / 2;
+            if roll < a {
+                hi_r = mid_r;
+                hi_c = mid_c;
+            } else if roll < a + b {
+                hi_r = mid_r;
+                lo_c = mid_c;
+            } else if roll < a + b + c {
+                lo_r = mid_r;
+                hi_c = mid_c;
+            } else {
+                lo_r = mid_r;
+                lo_c = mid_c;
+            }
+        }
+        let src = scramble(lo_r);
+        let dst = scramble(lo_c);
+        let w = config.weights.sample(&mut rng);
+        builder.add_edge(VertexId::new(src), VertexId::new(dst), w);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = RmatConfig::graph500(256, 1024);
+        let g1 = rmat(&cfg, 7);
+        let g2 = rmat(&cfg, 7);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = RmatConfig::graph500(256, 1024);
+        assert_ne!(rmat(&cfg, 1), rmat(&cfg, 2));
+    }
+
+    #[test]
+    fn skewed_degrees() {
+        let cfg = RmatConfig::graph500(1 << 10, 16 << 10);
+        let g = rmat(&cfg, 3);
+        let max_deg = g.vertices().map(|v| g.out_degree(v)).max().unwrap();
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        // Power-law: the hub should be far above average.
+        assert!(
+            (max_deg as f64) > 8.0 * avg,
+            "max degree {max_deg} not skewed vs avg {avg}"
+        );
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn weighted_mode_marks_graph() {
+        let cfg = RmatConfig::graph500(64, 128).with_weights(WeightMode::Uniform(1.0, 4.0));
+        let g = rmat(&cfg, 5);
+        assert!(g.is_weighted());
+        for v in g.vertices() {
+            for e in g.out_edges(v) {
+                assert!((1.0..4.0).contains(&e.weight));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_probabilities_rejected() {
+        let cfg = RmatConfig {
+            a: 0.9,
+            b: 0.9,
+            ..RmatConfig::graph500(8, 8)
+        };
+        let _ = rmat(&cfg, 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Watts–Strogatz small-world graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::WeightMode;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Generates a Watts–Strogatz small-world graph.
+///
+/// Starts from a ring where every vertex connects to its `k` nearest
+/// clockwise neighbors, then rewires each edge's endpoint with probability
+/// `rewire_p` to a uniformly random vertex. Inserted symmetrically.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `k >= vertices`, or `rewire_p` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use gp_graph::generators::{watts_strogatz, WeightMode};
+/// let g = watts_strogatz(100, 4, 0.1, WeightMode::Unweighted, 7);
+/// assert_eq!(g.num_vertices(), 100);
+/// ```
+pub fn watts_strogatz(
+    vertices: usize,
+    k: usize,
+    rewire_p: f64,
+    weights: WeightMode,
+    seed: u64,
+) -> CsrGraph {
+    assert!(k > 0 && k < vertices, "k must be in 1..vertices");
+    assert!((0.0..=1.0).contains(&rewire_p), "rewire_p must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(vertices);
+    weights.mark(&mut builder);
+    builder.symmetric(true);
+    for v in 0..vertices {
+        for step in 1..=k {
+            let mut target = (v + step) % vertices;
+            if rng.gen_bool(rewire_p) {
+                target = rng.gen_range(0..vertices);
+                if target == v {
+                    target = (v + 1) % vertices;
+                }
+            }
+            builder.add_edge(
+                VertexId::from_index(v),
+                VertexId::from_index(target),
+                weights.sample(&mut rng),
+            );
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_rewire_is_a_ring_lattice() {
+        let g = watts_strogatz(10, 2, 0.0, WeightMode::Unweighted, 1);
+        // Every vertex: 2 clockwise + 2 mirrored = degree 4.
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 4, "vertex {v}");
+        }
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rewiring_changes_structure_deterministically() {
+        let a = watts_strogatz(64, 3, 0.5, WeightMode::Unweighted, 4);
+        let b = watts_strogatz(64, 3, 0.5, WeightMode::Unweighted, 4);
+        let c = watts_strogatz(64, 3, 0.0, WeightMode::Unweighted, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn oversized_k_rejected() {
+        let _ = watts_strogatz(4, 4, 0.0, WeightMode::Unweighted, 0);
+    }
+}

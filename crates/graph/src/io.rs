@@ -1,0 +1,271 @@
+//! Graph serialization: text edge lists and a compact binary format.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Errors produced while reading graph files.
+#[derive(Debug)]
+pub enum ReadGraphError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line or record could not be parsed; carries line number and detail.
+    Parse(usize, String),
+    /// The binary header magic did not match.
+    BadMagic,
+    /// The binary payload ended prematurely.
+    Truncated,
+}
+
+impl fmt::Display for ReadGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadGraphError::Io(e) => write!(f, "i/o error reading graph: {e}"),
+            ReadGraphError::Parse(line, what) => write!(f, "parse error on line {line}: {what}"),
+            ReadGraphError::BadMagic => write!(f, "not a gp-graph binary file"),
+            ReadGraphError::Truncated => write!(f, "binary graph payload truncated"),
+        }
+    }
+}
+
+impl Error for ReadGraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadGraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadGraphError {
+    fn from(e: std::io::Error) -> Self {
+        ReadGraphError::Io(e)
+    }
+}
+
+/// Reads a whitespace-separated edge list: `src dst [weight]` per line.
+///
+/// Lines starting with `#` or `%` are comments. The vertex count is
+/// `max id + 1` unless `num_vertices` pins it explicitly.
+///
+/// # Errors
+///
+/// Returns [`ReadGraphError`] on I/O failure or malformed lines.
+///
+/// # Examples
+///
+/// ```
+/// let text = "# tiny\n0 1\n1 2 3.5\n";
+/// let g = gp_graph::io::read_edge_list(text.as_bytes(), None).unwrap();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    num_vertices: Option<usize>,
+) -> Result<CsrGraph, ReadGraphError> {
+    let buf = BufReader::new(reader);
+    let mut edges: Vec<(u32, u32, f32)> = Vec::new();
+    let mut max_id = 0u32;
+    let mut weighted = false;
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let src: u32 = it
+            .next()
+            .ok_or_else(|| ReadGraphError::Parse(lineno + 1, "missing src".into()))?
+            .parse()
+            .map_err(|e| ReadGraphError::Parse(lineno + 1, format!("src: {e}")))?;
+        let dst: u32 = it
+            .next()
+            .ok_or_else(|| ReadGraphError::Parse(lineno + 1, "missing dst".into()))?
+            .parse()
+            .map_err(|e| ReadGraphError::Parse(lineno + 1, format!("dst: {e}")))?;
+        let weight = match it.next() {
+            Some(w) => {
+                weighted = true;
+                w.parse::<f32>()
+                    .map_err(|e| ReadGraphError::Parse(lineno + 1, format!("weight: {e}")))?
+            }
+            None => 1.0,
+        };
+        max_id = max_id.max(src).max(dst);
+        edges.push((src, dst, weight));
+    }
+    let n = num_vertices.unwrap_or(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    let mut b = GraphBuilder::new(n);
+    b.weighted(weighted);
+    for (s, d, w) in edges {
+        b.add_edge(VertexId::new(s), VertexId::new(d), w);
+    }
+    Ok(b.build())
+}
+
+/// Writes a graph as a text edge list (`src dst weight` when weighted).
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "# gp-graph edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for v in graph.vertices() {
+        for e in graph.out_edges(v) {
+            if graph.is_weighted() {
+                writeln!(writer, "{} {} {}", v.get(), e.other.get(), e.weight)?;
+            } else {
+                writeln!(writer, "{} {}", v.get(), e.other.get())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+const MAGIC: u32 = 0x4750_4C53; // "GPLS"
+
+/// Encodes a graph into the compact binary format.
+///
+/// Layout: magic, version, vertex count, edge count, weighted flag, then
+/// `(src, dst[, weight])` triples in CSR order, little-endian.
+pub fn encode_binary(graph: &CsrGraph) -> Bytes {
+    let weighted = graph.is_weighted();
+    let mut buf = BytesMut::with_capacity(20 + graph.num_edges() * if weighted { 12 } else { 8 });
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(1); // version
+    buf.put_u8(u8::from(weighted));
+    buf.put_u8(0); // reserved
+    buf.put_u32_le(graph.num_vertices() as u32);
+    buf.put_u64_le(graph.num_edges() as u64);
+    for v in graph.vertices() {
+        for e in graph.out_edges(v) {
+            buf.put_u32_le(v.get());
+            buf.put_u32_le(e.other.get());
+            if weighted {
+                buf.put_f32_le(e.weight);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a graph from the binary format produced by [`encode_binary`].
+///
+/// # Errors
+///
+/// Returns [`ReadGraphError::BadMagic`] or [`ReadGraphError::Truncated`] on
+/// malformed input.
+pub fn decode_binary(mut data: &[u8]) -> Result<CsrGraph, ReadGraphError> {
+    if data.remaining() < 20 {
+        return Err(ReadGraphError::Truncated);
+    }
+    if data.get_u32_le() != MAGIC {
+        return Err(ReadGraphError::BadMagic);
+    }
+    let _version = data.get_u16_le();
+    let weighted = data.get_u8() != 0;
+    let _reserved = data.get_u8();
+    let n = data.get_u32_le() as usize;
+    let m = data.get_u64_le() as usize;
+    let record = if weighted { 12 } else { 8 };
+    if data.remaining() < m * record {
+        return Err(ReadGraphError::Truncated);
+    }
+    let mut b = GraphBuilder::new(n);
+    b.weighted(weighted);
+    // Encoded graphs are already deduplicated CSR dumps.
+    b.dedup(false).drop_self_loops(false);
+    for _ in 0..m {
+        let src = data.get_u32_le();
+        let dst = data.get_u32_le();
+        let w = if weighted { data.get_f32_le() } else { 1.0 };
+        b.add_edge(VertexId::new(src), VertexId::new(dst), w);
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{erdos_renyi, WeightMode};
+
+    #[test]
+    fn text_round_trip_unweighted() {
+        let g = erdos_renyi(40, 120, WeightMode::Unweighted, 3);
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(&out[..], Some(40)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn text_round_trip_weighted() {
+        let g = erdos_renyi(30, 90, WeightMode::Uniform(1.0, 8.0), 4);
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(&out[..], Some(30)).unwrap();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        assert!(g2.is_weighted());
+        for v in g.vertices() {
+            let a: Vec<_> = g.out_edges(v).collect();
+            let b: Vec<_> = g2.out_edges(v).collect();
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.other, y.other);
+                assert!((x.weight - y.weight).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = erdos_renyi(50, 200, WeightMode::Uniform(0.5, 2.0), 9);
+        let bytes = encode_binary(&g);
+        let g2 = decode_binary(&bytes).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(matches!(
+            decode_binary(&[0u8; 4]),
+            Err(ReadGraphError::Truncated)
+        ));
+        let mut bad = encode_binary(&erdos_renyi(4, 4, WeightMode::Unweighted, 0)).to_vec();
+        bad[0] ^= 0xFF;
+        assert!(matches!(decode_binary(&bad), Err(ReadGraphError::BadMagic)));
+    }
+
+    #[test]
+    fn binary_detects_truncation() {
+        let bytes = encode_binary(&erdos_renyi(10, 30, WeightMode::Unweighted, 1));
+        let cut = &bytes[..bytes.len() - 3];
+        assert!(matches!(decode_binary(cut), Err(ReadGraphError::Truncated)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# c\n\n% also comment\n0 1\n";
+        let g = read_edge_list(text.as_bytes(), None).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "0 1\nnot numbers\n";
+        match read_edge_list(text.as_bytes(), None) {
+            Err(ReadGraphError::Parse(line, _)) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # gp-graph — graph substrate for the GraphPulse reproduction
+//!
+//! Provides everything the accelerator and the baselines need to get a graph
+//! into memory:
+//!
+//! * [`VertexId`] — strongly-typed vertex handles,
+//! * [`CsrGraph`] — Compressed Sparse Row storage with both out- and
+//!   in-adjacency (the paper stores graphs in CSR, §IV-E),
+//! * [`GraphBuilder`] — edge-list ingestion with sorting / deduplication /
+//!   symmetrization,
+//! * [`generators`] — seeded synthetic graph generators (R-MAT,
+//!   Barabási–Albert, Erdős–Rényi, Watts–Strogatz, 2-D grids),
+//! * [`workloads`] — the Table IV dataset profiles (WG/FB/WK/LJ/TW)
+//!   synthesized at a configurable scale,
+//! * [`partition`] — contiguous slicing for graphs larger than the
+//!   accelerator's on-chip event queue (§IV-F),
+//! * [`io`] — text and binary edge-list formats.
+//!
+//! # Examples
+//!
+//! ```
+//! use gp_graph::{GraphBuilder, VertexId};
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(VertexId::new(0), VertexId::new(1), 1.0);
+//! b.add_edge(VertexId::new(1), VertexId::new(2), 2.0);
+//! b.add_edge(VertexId::new(2), VertexId::new(3), 1.5);
+//! let g = b.build();
+//! assert_eq!(g.num_vertices(), 4);
+//! assert_eq!(g.num_edges(), 3);
+//! assert_eq!(g.out_degree(VertexId::new(1)), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod csr;
+pub mod generators;
+pub mod io;
+pub mod partition;
+pub mod stats;
+mod vertex;
+pub mod workloads;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, EdgeRef, OutEdges};
+pub use vertex::VertexId;

@@ -1,0 +1,91 @@
+//! Strongly-typed vertex handles.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vertex in a [`CsrGraph`](crate::CsrGraph).
+///
+/// A newtype over `u32` (graphs of up to ~4.2 B vertices, well beyond what a
+/// single accelerator slice addresses) so vertex ids cannot be confused with
+/// degrees, offsets, or slice-local indices.
+///
+/// ```
+/// use gp_graph::VertexId;
+/// let v = VertexId::new(7);
+/// assert_eq!(v.index(), 7usize);
+/// assert_eq!(v.get(), 7u32);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Creates a vertex id.
+    #[inline]
+    pub const fn new(id: u32) -> Self {
+        VertexId(id)
+    }
+
+    /// The raw id.
+    #[inline]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `usize` array index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a vertex id from an array index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        VertexId(u32::try_from(index).expect("vertex index exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(id: u32) -> Self {
+        VertexId(id)
+    }
+}
+
+impl From<VertexId> for u32 {
+    #[inline]
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let v = VertexId::from_index(123);
+        assert_eq!(v, VertexId::new(123));
+        assert_eq!(u32::from(v), 123);
+        assert_eq!(VertexId::from(123u32), v);
+        assert_eq!(v.to_string(), "v123");
+    }
+
+    #[test]
+    fn ordering_follows_ids() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+    }
+}

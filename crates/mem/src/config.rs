@@ -1,0 +1,120 @@
+//! DRAM timing/geometry configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and timing of the modeled DRAM, in accelerator clock cycles.
+///
+/// Latency parameters follow DDR3-1600 (CL-RCD-RP ≈ 11-11-11 at 800 MHz,
+/// i.e. ~14 ns each) converted to a 1 GHz accelerator clock. The paper's
+/// configuration (Table III) is four channels of 17 GB/s each —
+/// [`DramConfig::paper`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of independent channels.
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks_per_channel: usize,
+    /// Row-buffer size per bank in bytes.
+    pub row_bytes: u64,
+    /// Column access latency (row-buffer hit), cycles.
+    pub t_cas: u64,
+    /// Row activation latency, cycles.
+    pub t_rcd: u64,
+    /// Precharge latency, cycles.
+    pub t_rp: u64,
+    /// Peak data-bus throughput per channel, bytes per accelerator cycle.
+    /// 17 GB/s at 1 GHz = 17 B/cycle.
+    pub bytes_per_cycle: f64,
+    /// Depth of each channel's request queue (backpressure beyond this).
+    pub queue_depth: usize,
+    /// How many queued requests the scheduler scans for a row hit
+    /// (FR-FCFS window).
+    pub sched_window: usize,
+}
+
+impl DramConfig {
+    /// The paper's memory subsystem: 4 × DDR3 channels, 17 GB/s each
+    /// (Table III), 8 banks, 8 KB rows, DDR3-1600 latencies at 1 GHz.
+    pub fn paper() -> Self {
+        DramConfig {
+            channels: 4,
+            banks_per_channel: 8,
+            row_bytes: 8 * 1024,
+            t_cas: 14,
+            t_rcd: 14,
+            t_rp: 14,
+            bytes_per_cycle: 17.0,
+            queue_depth: 64,
+            sched_window: 8,
+        }
+    }
+
+    /// A single-channel configuration for focused unit tests.
+    pub fn single_channel() -> Self {
+        DramConfig {
+            channels: 1,
+            ..Self::paper()
+        }
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 {
+            return Err("channels must be nonzero".into());
+        }
+        if self.banks_per_channel == 0 {
+            return Err("banks_per_channel must be nonzero".into());
+        }
+        if !self.row_bytes.is_power_of_two() {
+            return Err("row_bytes must be a power of two".into());
+        }
+        if self.bytes_per_cycle <= 0.0 {
+            return Err("bytes_per_cycle must be positive".into());
+        }
+        if self.queue_depth == 0 || self.sched_window == 0 {
+            return Err("queue depth and scheduler window must be nonzero".into());
+        }
+        Ok(())
+    }
+
+    /// Aggregate peak bandwidth in bytes per cycle across all channels.
+    pub fn peak_bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle * self.channels as f64
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_iii() {
+        let c = DramConfig::paper();
+        assert_eq!(c.channels, 4);
+        assert!((c.peak_bytes_per_cycle() - 68.0).abs() < 1e-9);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = DramConfig::paper();
+        c.channels = 0;
+        assert!(c.validate().is_err());
+        let mut c = DramConfig::paper();
+        c.row_bytes = 3000;
+        assert!(c.validate().is_err());
+        let mut c = DramConfig::paper();
+        c.bytes_per_cycle = 0.0;
+        assert!(c.validate().is_err());
+    }
+}

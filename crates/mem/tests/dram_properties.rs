@@ -1,0 +1,136 @@
+//! Property tests of the DRAM timing model: conservation (every accepted
+//! request completes exactly once), latency bounds, bandwidth ceilings, and
+//! same-bank ordering, under random address streams.
+
+use proptest::prelude::*;
+
+use gp_mem::{DramConfig, MemRequest, MemStats, MemorySystem, TrafficClass, LINE_BYTES};
+use gp_sim::Cycle;
+
+/// Drives `addrs` through a fresh memory system; returns
+/// `(completion order, final cycle, stats)`.
+fn drive(cfg: DramConfig, addrs: &[u64]) -> (Vec<u64>, u64, MemStats) {
+    let mut mem = MemorySystem::new(cfg);
+    let mut now = Cycle::ZERO;
+    let mut next = 0usize;
+    let mut done: Vec<u64> = Vec::new();
+    let mut ids = Vec::new();
+    let mut guard = 0u64;
+    while done.len() < addrs.len() {
+        while next < addrs.len() && mem.can_accept(addrs[next]) {
+            let id = mem
+                .request(now, MemRequest::read(addrs[next], 64, TrafficClass::Other))
+                .expect("accepted");
+            ids.push(id);
+            next += 1;
+        }
+        mem.tick(now);
+        while let Some(req) = mem.pop_completion(now) {
+            done.push(req.addr());
+        }
+        now = now.next();
+        guard += 1;
+        assert!(guard < 10_000_000, "dram model livelocked");
+    }
+    assert!(mem.is_idle());
+    (done, now.get(), mem.stats().clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_request_completes_exactly_once(
+        raw in proptest::collection::vec(0u64..1 << 24, 1..200),
+    ) {
+        let addrs: Vec<u64> = raw.iter().map(|a| a & !(LINE_BYTES - 1)).collect();
+        let (done, _, stats) = drive(DramConfig::paper(), &addrs);
+        let mut expect = addrs.clone();
+        let mut got = done.clone();
+        expect.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(expect, got);
+        prop_assert_eq!(stats.total_accesses(), addrs.len() as u64);
+        prop_assert_eq!(stats.total_bytes(), addrs.len() as u64 * 64);
+    }
+
+    #[test]
+    fn latency_is_bounded_below_by_a_hit_and_burst(
+        addr in (0u64..1 << 20).prop_map(|a| a & !(LINE_BYTES - 1)),
+    ) {
+        let cfg = DramConfig::paper();
+        let (_, cycles, _) = drive(cfg, &[addr]);
+        let burst = (64.0 / cfg.bytes_per_cycle).ceil() as u64;
+        // Single cold read: exactly activation + CAS + burst (+1 because
+        // the driver advances the clock once more after harvesting).
+        prop_assert_eq!(cycles, cfg.t_rcd + cfg.t_cas + burst + 1);
+    }
+
+    #[test]
+    fn bandwidth_never_exceeds_the_configured_peak(
+        n in 16usize..256,
+    ) {
+        // Perfectly sequential stream: the fastest possible pattern.
+        let addrs: Vec<u64> = (0..n as u64).map(|i| i * LINE_BYTES).collect();
+        let cfg = DramConfig::paper();
+        let (_, cycles, _) = drive(cfg, &addrs);
+        let bytes = (n as f64) * 64.0;
+        let peak = cfg.peak_bytes_per_cycle();
+        prop_assert!(
+            bytes / cycles as f64 <= peak + 1e-9,
+            "modeled bandwidth {} exceeds peak {}",
+            bytes / cycles as f64,
+            peak
+        );
+    }
+
+    #[test]
+    fn row_conflicts_never_beat_row_hits(seed in 0u64..1000) {
+        let cfg = DramConfig::single_channel();
+        // Hits: repeated same-row lines. Conflicts: same-bank different rows.
+        let hits: Vec<u64> = (0..64u64).map(|i| (i % 8) * LINE_BYTES).collect();
+        let stride = cfg.row_bytes * cfg.banks_per_channel as u64;
+        let conflicts: Vec<u64> = (0..64u64).map(|i| ((i + seed) % 8) * stride).collect();
+        let (_, t_hits, s_hits) = drive(cfg, &hits);
+        let (_, t_conf, s_conf) = drive(cfg, &conflicts);
+        prop_assert!(t_hits <= t_conf);
+        prop_assert!(s_hits.row_hit_rate() > s_conf.row_hit_rate());
+    }
+
+    #[test]
+    fn same_row_requests_complete_in_issue_order(
+        cols in proptest::collection::vec(0u64..16, 2..50),
+    ) {
+        // FR-FCFS may reorder different rows of a bank (preferring hits),
+        // but accesses to one open row must stay FIFO.
+        let cfg = DramConfig::single_channel();
+        let addrs: Vec<u64> = cols.iter().map(|c| c * LINE_BYTES).collect();
+        let (done, _, _) = drive(cfg, &addrs);
+        prop_assert_eq!(done, addrs);
+    }
+}
+
+#[test]
+fn utilization_is_a_weighted_average() {
+    let mut mem = MemorySystem::new(DramConfig::single_channel());
+    mem.request(
+        Cycle::ZERO,
+        MemRequest::read(0, 64, TrafficClass::VertexRead).with_useful_bytes(16),
+    )
+    .unwrap();
+    mem.request(
+        Cycle::ZERO,
+        MemRequest::read(64, 64, TrafficClass::EdgeRead).with_useful_bytes(64),
+    )
+    .unwrap();
+    let mut now = Cycle::ZERO;
+    let mut done = 0;
+    while done < 2 {
+        mem.tick(now);
+        while mem.pop_completion(now).is_some() {
+            done += 1;
+        }
+        now = now.next();
+    }
+    assert!((mem.stats().utilization() - 80.0 / 128.0).abs() < 1e-12);
+}

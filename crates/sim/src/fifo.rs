@@ -1,0 +1,200 @@
+//! Bounded, latency-aware FIFOs.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use crate::Cycle;
+
+/// Error returned by [`Fifo::push`] when the queue is at capacity.
+///
+/// The rejected element is handed back so the producer can retry on a later
+/// cycle (modeling backpressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoFullError<T>(pub T);
+
+impl<T> fmt::Display for FifoFullError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fifo is full")
+    }
+}
+
+impl<T: fmt::Debug> Error for FifoFullError<T> {}
+
+/// A bounded FIFO whose entries become visible `latency` cycles after they
+/// were pushed.
+///
+/// This models the ubiquitous hardware idiom of a buffered link: a producer
+/// pushes at cycle *t*, the consumer can pop at cycle *t + latency* at the
+/// earliest. Capacity counts all in-flight entries, visible or not, so a full
+/// FIFO exerts backpressure on the producer exactly like a physical buffer.
+///
+/// # Examples
+///
+/// ```
+/// use gp_sim::{Cycle, Fifo};
+///
+/// let mut f = Fifo::new(2, 1);
+/// f.push(Cycle::ZERO, 'a').unwrap();
+/// f.push(Cycle::ZERO, 'b').unwrap();
+/// assert!(f.push(Cycle::ZERO, 'c').is_err()); // backpressure
+/// assert_eq!(f.pop(Cycle::new(1)), Some('a'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    entries: VecDeque<(Cycle, T)>,
+    capacity: usize,
+    latency: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO with room for `capacity` in-flight entries that become
+    /// visible `latency` cycles after insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, latency: u64) -> Self {
+        assert!(capacity > 0, "fifo capacity must be nonzero");
+        Fifo {
+            entries: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            latency,
+        }
+    }
+
+    /// Pushes `value` at cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] carrying `value` back if the FIFO already
+    /// holds `capacity` entries.
+    pub fn push(&mut self, now: Cycle, value: T) -> Result<(), FifoFullError<T>> {
+        if self.entries.len() >= self.capacity {
+            return Err(FifoFullError(value));
+        }
+        self.entries.push_back((now + self.latency, value));
+        Ok(())
+    }
+
+    /// Pops the oldest entry if it is visible at cycle `now`.
+    pub fn pop(&mut self, now: Cycle) -> Option<T> {
+        match self.entries.front() {
+            Some((ready, _)) if *ready <= now => self.entries.pop_front().map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Peeks at the oldest entry if it is visible at cycle `now`.
+    pub fn peek(&self, now: Cycle) -> Option<&T> {
+        match self.entries.front() {
+            Some((ready, v)) if *ready <= now => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Number of in-flight entries (visible or not).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the FIFO holds no entries at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a push at this moment would be rejected.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Remaining capacity.
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// The configured capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured visibility latency in cycles.
+    #[inline]
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Drains every entry regardless of visibility, oldest first.
+    ///
+    /// Used when a unit is reset or a graph slice is swapped out and its
+    /// in-flight traffic must be spilled.
+    pub fn drain_all(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.entries.drain(..).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visibility_respects_latency() {
+        let mut f = Fifo::new(8, 3);
+        f.push(Cycle::new(10), 1u32).unwrap();
+        assert_eq!(f.pop(Cycle::new(12)), None);
+        assert_eq!(f.peek(Cycle::new(13)), Some(&1));
+        assert_eq!(f.pop(Cycle::new(13)), Some(1));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn zero_latency_is_same_cycle() {
+        let mut f = Fifo::new(1, 0);
+        f.push(Cycle::ZERO, 9u8).unwrap();
+        assert_eq!(f.pop(Cycle::ZERO), Some(9));
+    }
+
+    #[test]
+    fn backpressure_returns_value() {
+        let mut f = Fifo::new(1, 0);
+        f.push(Cycle::ZERO, "x").unwrap();
+        let err = f.push(Cycle::ZERO, "y").unwrap_err();
+        assert_eq!(err.0, "y");
+        assert!(f.is_full());
+        assert_eq!(f.free(), 0);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f = Fifo::new(4, 1);
+        for i in 0..4 {
+            f.push(Cycle::new(i), i).unwrap();
+        }
+        let t = Cycle::new(100);
+        assert_eq!(f.pop(t), Some(0));
+        assert_eq!(f.pop(t), Some(1));
+        assert_eq!(f.pop(t), Some(2));
+        assert_eq!(f.pop(t), Some(3));
+    }
+
+    #[test]
+    fn drain_ignores_visibility() {
+        let mut f = Fifo::new(4, 100);
+        f.push(Cycle::ZERO, 1).unwrap();
+        f.push(Cycle::ZERO, 2).unwrap();
+        let drained: Vec<_> = f.drain_all().collect();
+        assert_eq!(drained, vec![1, 2]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = Fifo::<u8>::new(0, 0);
+    }
+}

@@ -1,0 +1,337 @@
+//! Statistics primitives backing the evaluation figures.
+//!
+//! Every figure in the paper's evaluation section is an aggregation over
+//! simulation counters; this module provides the small set of collectors the
+//! rest of the workspace shares: saturating [`Counter`]s, running
+//! [`Average`]s, bucketed [`Histogram`]s, and a per-unit
+//! [`StateTimeline`] that records how many cycles a hardware unit spent in
+//! each coarse state (the basis of the paper's Fig. 14 breakdown).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event counter.
+///
+/// ```
+/// use gp_sim::stats::Counter;
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n` occurrences.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A running average of `f64` samples (mean, count, min, max).
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+pub struct Average {
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Average {
+    /// Records one sample.
+    pub fn record(&mut self, sample: f64) {
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.sum += sample;
+        self.count += 1;
+    }
+
+    /// Mean of all samples, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// A histogram over fixed-width buckets with an overflow bucket.
+///
+/// Used for the Fig. 8 lookahead distribution, where the paper buckets
+/// lookahead degrees as `0, <100, <200, <300, <400, >400`.
+///
+/// ```
+/// use gp_sim::stats::Histogram;
+/// let mut h = Histogram::new(100, 4); // buckets [0,100), [100,200), ... + overflow
+/// h.record(0);
+/// h.record(150);
+/// h.record(1_000);
+/// assert_eq!(h.bucket_counts(), &[1, 1, 0, 0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: u64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` fixed-width buckets of width
+    /// `bucket_width` plus one overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` or `buckets` is zero.
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be nonzero");
+        assert!(buckets > 0, "bucket count must be nonzero");
+        Histogram {
+            bucket_width,
+            counts: vec![0; buckets + 1],
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.bucket_width) as usize;
+        let last = self.counts.len() - 1;
+        self.counts[idx.min(last)] += 1;
+        self.total += 1;
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        let idx = (value / self.bucket_width) as usize;
+        let last = self.counts.len() - 1;
+        self.counts[idx.min(last)] += n;
+        self.total += n;
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Width of the fixed buckets.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// Merges another histogram with identical shape into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bucket_width, other.bucket_width, "bucket width mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+/// Accumulates, per named state, how many cycles a unit spent in it.
+///
+/// The generic parameter is typically a small `enum` implementing `Into<usize>`
+/// indirectly via [`StateTimeline::add`]'s explicit index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct StateTimeline {
+    names: Vec<&'static str>,
+    cycles: Vec<u64>,
+}
+
+impl StateTimeline {
+    /// Creates a timeline over the given state names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty.
+    pub fn new(names: &[&'static str]) -> Self {
+        assert!(!names.is_empty(), "state timeline needs at least one state");
+        StateTimeline {
+            names: names.to_vec(),
+            cycles: vec![0; names.len()],
+        }
+    }
+
+    /// Charges `n` cycles to state `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn add(&mut self, idx: usize, n: u64) {
+        self.cycles[idx] += n;
+    }
+
+    /// Total cycles accounted across all states.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// `(name, cycles, fraction)` rows; fractions sum to 1 when non-empty.
+    pub fn fractions(&self) -> Vec<(&'static str, u64, f64)> {
+        let total = self.total().max(1) as f64;
+        self.names
+            .iter()
+            .zip(&self.cycles)
+            .map(|(n, c)| (*n, *c, *c as f64 / total))
+            .collect()
+    }
+
+    /// Merges another timeline with the same states into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state names differ.
+    pub fn merge(&mut self, other: &StateTimeline) {
+        assert_eq!(self.names, other.names, "state name mismatch");
+        for (a, b) in self.cycles.iter_mut().zip(&other.cycles) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::default();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        assert_eq!(c.to_string(), "42");
+    }
+
+    #[test]
+    fn average_tracks_extremes() {
+        let mut a = Average::default();
+        assert_eq!(a.mean(), 0.0);
+        a.record(2.0);
+        a.record(4.0);
+        a.record(-1.0);
+        assert!((a.mean() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.min(), -1.0);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10, 3);
+        h.record(0);
+        h.record(9);
+        h.record(10);
+        h.record(29);
+        h.record(30); // overflow
+        h.record_n(35, 2);
+        assert_eq!(h.bucket_counts(), &[2, 1, 1, 3]);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(10, 2);
+        let mut b = Histogram::new(10, 2);
+        a.record(5);
+        b.record(15);
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), &[1, 1, 0]);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width mismatch")]
+    fn histogram_merge_shape_checked() {
+        let mut a = Histogram::new(10, 2);
+        let b = Histogram::new(20, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn state_timeline_fractions_sum_to_one() {
+        let mut t = StateTimeline::new(&["busy", "stall", "idle"]);
+        t.add(0, 50);
+        t.add(1, 25);
+        t.add(2, 25);
+        let rows = t.fractions();
+        let total: f64 = rows.iter().map(|(_, _, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(rows[0], ("busy", 50, 0.5));
+    }
+
+    #[test]
+    fn state_timeline_merge() {
+        let mut a = StateTimeline::new(&["x", "y"]);
+        let mut b = StateTimeline::new(&["x", "y"]);
+        a.add(0, 1);
+        b.add(1, 3);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+    }
+}

@@ -1,0 +1,66 @@
+//! Road-network navigation: SSSP and BFS on a weighted 2-D grid — the
+//! high-diameter, low-degree opposite of the power-law social graphs, and
+//! the regime where asynchronous processing shines against BSP barriers.
+//!
+//! Also demonstrates **graph slicing** (§IV-F): the queue is deliberately
+//! sized smaller than the map so the accelerator must partition it into
+//! slices and spill inter-slice events off-chip.
+//!
+//! ```text
+//! cargo run --release --example road_navigation
+//! ```
+
+use graphpulse::algorithms::{reference, Bfs, Sssp};
+use graphpulse::core::{AcceleratorConfig, GraphPulse, QueueConfig};
+use graphpulse::graph::generators::{grid_2d, WeightMode};
+use graphpulse::graph::VertexId;
+
+fn main() {
+    // A 96×96 road grid with travel-time weights.
+    let map = grid_2d(96, 96, WeightMode::Uniform(1.0, 5.0), 3);
+    let depot = VertexId::new(0);
+    println!("road map: {map}");
+
+    // Queue holds only 4096 intersections -> the 9216-vertex map needs
+    // slicing (this is the §IV-F path).
+    let mut config = AcceleratorConfig::optimized();
+    config.queue = QueueConfig { bins: 8, rows: 64, cols: 8 }; // 4096 slots
+    let accel = GraphPulse::new(config);
+
+    // --- shortest travel times from the depot ---
+    let sssp = accel.run(&map, &Sssp::new(depot)).expect("sssp run");
+    println!(
+        "\nSSSP: {} cycles over {} slices ({} activations), {} events spilled off-chip",
+        sssp.report.cycles,
+        sssp.report.slices,
+        sssp.report.slice_activations,
+        sssp.report.events_spilled
+    );
+    let golden = reference::sssp_dijkstra(&map, depot);
+    assert!(graphpulse::algorithms::max_abs_diff(&sssp.values, &golden) < 1e-6);
+    println!("validated against Dijkstra ✓");
+
+    // --- hop distance (BFS) for a zone map ---
+    let bfs = accel.run(&map, &Bfs::new(depot)).expect("bfs run");
+    let golden_bfs = reference::bfs_levels(&map, depot);
+    assert!(graphpulse::algorithms::max_abs_diff(&bfs.values, &golden_bfs) < 1e-9);
+    let max_hops = bfs.values.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "BFS: diameter from depot = {max_hops} hops, {} rounds on the accelerator",
+        bfs.report.rounds
+    );
+
+    // Farthest reachable corner by travel time.
+    let (far, time) = sssp
+        .values
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.is_finite())
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("some vertex is reachable");
+    println!(
+        "farthest intersection: v{far} at {time:.1} travel-time units ({}, {})",
+        far / 96,
+        far % 96
+    );
+}

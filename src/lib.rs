@@ -1,0 +1,15 @@
+//! # GraphPulse — facade crate
+//!
+//! Re-exports the whole GraphPulse reproduction workspace under one roof so
+//! examples, integration tests, and downstream users can depend on a single
+//! crate. See `README.md` for the architecture overview and `DESIGN.md` for
+//! the per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use gp_algorithms as algorithms;
+pub use gp_baselines as baselines;
+pub use gp_graph as graph;
+pub use gp_mem as mem;
+pub use gp_sim as sim;
+pub use graphpulse_core as core;

@@ -1,0 +1,153 @@
+//! Whole-workspace integration: workload synthesis → accelerator, software
+//! framework, and Graphicionado model all agree with the golden references,
+//! sliced runs match unsliced runs, and everything is deterministic.
+
+use graphpulse::algorithms::{
+    engine, max_abs_diff, normalize_inbound, reference, Adsorption, AdsorptionParams, Bfs,
+    ConnectedComponents, PageRankDelta, Sssp,
+};
+use graphpulse::baselines::graphicionado::{self, GraphicionadoConfig};
+use graphpulse::baselines::ligra::{apps, LigraConfig};
+use graphpulse::core::{AcceleratorConfig, GraphPulse, QueueConfig};
+use graphpulse::graph::workloads::Workload;
+use graphpulse::graph::VertexId;
+
+fn accel() -> GraphPulse {
+    let mut cfg = AcceleratorConfig::small_test();
+    cfg.queue = QueueConfig { bins: 4, rows: 64, cols: 8 };
+    GraphPulse::new(cfg)
+}
+
+#[test]
+fn all_backends_agree_on_pagerank() {
+    let g = Workload::WebGoogle.synthesize(2048, 5);
+    let algo = PageRankDelta::new(0.85, 1e-8);
+    let gp = accel().run(&g, &algo).expect("accelerator");
+    let sw = apps::pagerank_delta(&g, 0.85, 1e-8, &LigraConfig::sequential());
+    let hw = graphicionado::run(&g, &algo, &GraphicionadoConfig::default());
+    let golden = reference::pagerank(&g, 0.85, 1e-11);
+    assert!(max_abs_diff(&gp.values, &golden) < 1e-3);
+    assert!(max_abs_diff(&sw.values, &golden) < 1e-3);
+    assert!(max_abs_diff(&hw.values, &golden) < 1e-3);
+}
+
+#[test]
+fn all_backends_agree_on_sssp_and_bfs() {
+    let g = Workload::Wikipedia.synthesize_weighted(
+        8192,
+        graphpulse::graph::generators::WeightMode::Uniform(1.0, 9.0),
+        3,
+    );
+    let root = g
+        .vertices()
+        .max_by_key(|v| g.out_degree(*v))
+        .expect("nonempty");
+    let golden = reference::sssp_dijkstra(&g, root);
+    let gp = accel().run(&g, &Sssp::new(root)).expect("accelerator");
+    let sw = apps::sssp(&g, root, &LigraConfig::sequential());
+    let hw = graphicionado::run(&g, &Sssp::new(root), &GraphicionadoConfig::default());
+    assert!(max_abs_diff(&gp.values, &golden) < 1e-6);
+    assert!(max_abs_diff(&sw.values, &golden) < 1e-6);
+    assert!(max_abs_diff(&hw.values, &golden) < 1e-6);
+
+    let bfs_golden = reference::bfs_levels(&g, root);
+    let gp_bfs = accel().run(&g, &Bfs::new(root)).expect("accelerator");
+    assert!(max_abs_diff(&gp_bfs.values, &bfs_golden) < 1e-9);
+}
+
+#[test]
+fn all_backends_agree_on_cc_and_adsorption() {
+    let g = Workload::Facebook.synthesize(16384, 9);
+    let cc_golden = reference::cc_labels(&g);
+    let gp = accel().run(&g, &ConnectedComponents::new()).expect("accelerator");
+    let sw = apps::cc(&g, &LigraConfig::sequential());
+    assert!(max_abs_diff(&gp.values, &cc_golden) < 1e-9);
+    assert!(max_abs_diff(&sw.values, &cc_golden) < 1e-9);
+
+    let raw = Workload::Facebook.synthesize_weighted(
+        16384,
+        graphpulse::graph::generators::WeightMode::Uniform(0.5, 2.0),
+        9,
+    );
+    let ng = normalize_inbound(&raw);
+    let params = AdsorptionParams::random(ng.num_vertices(), 1);
+    let ads_golden = reference::adsorption_jacobi(&ng, &params, 1e-12);
+    let gp_ads = accel()
+        .run(&ng, &Adsorption::new(params.clone(), 1e-9))
+        .expect("accelerator");
+    let hw_ads = graphicionado::run(
+        &ng,
+        &Adsorption::new(params, 1e-9),
+        &GraphicionadoConfig::default(),
+    );
+    assert!(max_abs_diff(&gp_ads.values, &ads_golden) < 1e-4);
+    assert!(max_abs_diff(&hw_ads.values, &ads_golden) < 1e-4);
+}
+
+#[test]
+fn sliced_and_unsliced_runs_agree() {
+    let g = Workload::WebGoogle.synthesize(4096, 2);
+    let algo = PageRankDelta::new(0.85, 1e-7);
+
+    let mut one_slice = AcceleratorConfig::small_test();
+    one_slice.queue = QueueConfig { bins: 4, rows: 256, cols: 8 }; // fits whole graph
+    let whole = GraphPulse::new(one_slice).run(&g, &algo).expect("whole run");
+    assert_eq!(whole.report.slices, 1);
+
+    let mut tiny_queue = AcceleratorConfig::small_test();
+    tiny_queue.queue = QueueConfig { bins: 4, rows: 4, cols: 8 }; // 128 slots
+    let sliced = GraphPulse::new(tiny_queue).run(&g, &algo).expect("sliced run");
+    assert!(sliced.report.slices > 1);
+    assert!(sliced.report.events_spilled > 0);
+    assert!(
+        sliced.report.memory.bytes(graphpulse::mem::TrafficClass::EventSpill) > 0,
+        "spill traffic must be accounted"
+    );
+
+    assert!(max_abs_diff(&whole.values, &sliced.values) < 1e-3);
+    // Slicing costs time: the sliced run must not be faster.
+    assert!(sliced.report.cycles >= whole.report.cycles);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let g = Workload::LiveJournal.synthesize(16384, 4);
+    let algo = PageRankDelta::new(0.85, 1e-6);
+    let a = accel().run(&g, &algo).expect("first");
+    let b = accel().run(&g, &algo).expect("second");
+    assert_eq!(a.report.cycles, b.report.cycles);
+    assert_eq!(a.report.events_generated, b.report.events_generated);
+    assert_eq!(a.values, b.values);
+}
+
+#[test]
+fn golden_engines_bound_the_accelerator_work() {
+    // The asynchronous accelerator must not do more event applications than
+    // the synchronous BSP engine does (coalescing + lookahead reduce work).
+    let g = Workload::WebGoogle.synthesize(4096, 6);
+    let algo = ConnectedComponents::new();
+    let gp = accel().run(&g, &algo).expect("accelerator");
+    let (bsp, _) = engine::run_bsp(&algo, &g, 100_000);
+    assert!(
+        gp.report.events_processed <= bsp.events_processed,
+        "async {} > sync {}",
+        gp.report.events_processed,
+        bsp.events_processed
+    );
+}
+
+#[test]
+fn root_choice_does_not_break_backends() {
+    // Degenerate roots: isolated vertex and a sink.
+    let mut b = graphpulse::graph::GraphBuilder::new(5);
+    b.add_edge(VertexId::new(0), VertexId::new(1), 1.0);
+    b.add_edge(VertexId::new(1), VertexId::new(2), 1.0);
+    let g = b.build();
+    // Root 4 is isolated: only it is reached.
+    let out = accel().run(&g, &Bfs::new(VertexId::new(4))).expect("run");
+    assert_eq!(out.values[4], 0.0);
+    assert!(out.values[0].is_infinite());
+    // Root 2 is a sink: BFS terminates immediately after one event.
+    let out = accel().run(&g, &Bfs::new(VertexId::new(2))).expect("run");
+    assert_eq!(out.values[2], 0.0);
+}
