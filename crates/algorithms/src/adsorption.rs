@@ -2,8 +2,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gp_graph::rng::{Rng, StdRng};
 
 use gp_graph::{CsrGraph, EdgeRef, GraphBuilder, VertexId};
 
@@ -103,7 +102,11 @@ pub fn normalize_inbound(graph: &CsrGraph) -> CsrGraph {
     for v in graph.vertices() {
         for e in graph.out_edges(v) {
             let sum = in_sums[e.other.index()];
-            let w = if sum > 0.0 { (e.weight as f64 / sum) as f32 } else { 0.0 };
+            let w = if sum > 0.0 {
+                (e.weight as f64 / sum) as f32
+            } else {
+                0.0
+            };
             b.add_edge(v, e.other, w);
         }
     }
@@ -217,7 +220,10 @@ mod tests {
     fn propagate_scales_by_alpha_and_weight() {
         let params = AdsorptionParams::new(vec![0.5, 0.5], vec![1.0, 1.0], vec![1.0, 1.0]);
         let ads = Adsorption::new(params, 0.0);
-        let e = EdgeRef { other: VertexId::new(1), weight: 0.25 };
+        let e = EdgeRef {
+            other: VertexId::new(1),
+            weight: 0.25,
+        };
         assert_eq!(ads.propagate(2.0, VertexId::new(0), 3, e), Some(0.25));
     }
 

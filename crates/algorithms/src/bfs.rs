@@ -113,7 +113,10 @@ mod tests {
         let b = Bfs::new(VertexId::new(0));
         assert_eq!(b.reduce(5, 2), 2);
         assert_eq!(b.coalesce(3, 7), 3);
-        let e = EdgeRef { other: VertexId::new(1), weight: 1.0 };
+        let e = EdgeRef {
+            other: VertexId::new(1),
+            weight: 1.0,
+        };
         assert_eq!(b.propagate(4, VertexId::new(0), 1, e), Some(5));
         assert_eq!(b.propagation_basis(UNREACHED, 0), Some(0));
         assert_eq!(b.propagation_basis(2, 2), None);
@@ -129,8 +132,17 @@ mod tests {
     #[test]
     fn saturating_depth_never_wraps() {
         let b = Bfs::new(VertexId::new(0));
-        let e = EdgeRef { other: VertexId::new(1), weight: 1.0 };
-        assert_eq!(b.propagate(u32::MAX - 1, VertexId::new(0), 1, e), Some(u32::MAX));
-        assert_eq!(b.propagate(u32::MAX, VertexId::new(0), 1, e), Some(u32::MAX));
+        let e = EdgeRef {
+            other: VertexId::new(1),
+            weight: 1.0,
+        };
+        assert_eq!(
+            b.propagate(u32::MAX - 1, VertexId::new(0), 1, e),
+            Some(u32::MAX)
+        );
+        assert_eq!(
+            b.propagate(u32::MAX, VertexId::new(0), 1, e),
+            Some(u32::MAX)
+        );
     }
 }

@@ -101,7 +101,10 @@ mod tests {
         assert_eq!(cc.initial_delta(VertexId::new(9), &tiny()), Some(9));
         assert_eq!(cc.reduce(3, 7), 7);
         assert_eq!(cc.coalesce(5, 2), 5);
-        let e = EdgeRef { other: VertexId::new(1), weight: 1.0 };
+        let e = EdgeRef {
+            other: VertexId::new(1),
+            weight: 1.0,
+        };
         assert_eq!(cc.propagate(6, VertexId::new(0), 2, e), Some(6));
     }
 

@@ -109,6 +109,9 @@ mod tests {
         fn takes_generic<A: DeltaAlgorithm>(a: &A) -> &'static str {
             a.name()
         }
-        assert_eq!(takes_generic(&PageRankDelta::new(0.85, 1e-4)), "pagerank-delta");
+        assert_eq!(
+            takes_generic(&PageRankDelta::new(0.85, 1e-4)),
+            "pagerank-delta"
+        );
     }
 }

@@ -68,7 +68,9 @@ pub fn run_sequential<A: DeltaAlgorithm>(algo: &A, graph: &CsrGraph) -> EngineOu
 
     while let Some(u) = worklist.pop_front() {
         let u = VertexId::new(u);
-        let delta = pending[u.index()].take().expect("worklist entry without delta");
+        let delta = pending[u.index()]
+            .take()
+            .expect("worklist entry without delta");
         events_processed += 1;
         let old = values[u.index()];
         let new = algo.reduce(old, delta);
@@ -145,7 +147,9 @@ pub fn run_bsp<A: DeltaAlgorithm>(
         let mut next: Vec<Option<A::Delta>> = vec![None; n];
         let mut produced = 0u64;
         for u in 0..n {
-            let Some(delta) = current[u].take() else { continue };
+            let Some(delta) = current[u].take() else {
+                continue;
+            };
             events_processed += 1;
             let uid = VertexId::from_index(u);
             let old = values[u];
@@ -167,7 +171,10 @@ pub fn run_bsp<A: DeltaAlgorithm>(
             }
         }
         let coalesced = next.iter().filter(|s| s.is_some()).count() as u64;
-        rounds_log.push(BspRound { produced, coalesced });
+        rounds_log.push(BspRound {
+            produced,
+            coalesced,
+        });
         current = next;
     }
 

@@ -43,7 +43,10 @@ impl PageRankDelta {
     ///
     /// Panics unless `0 < alpha < 1` and `threshold >= 0`.
     pub fn new(alpha: f64, threshold: f64) -> Self {
-        assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&alpha) && alpha > 0.0,
+            "alpha must be in (0,1)"
+        );
         assert!(threshold >= 0.0, "threshold must be nonnegative");
         PageRankDelta {
             alpha,
@@ -160,10 +163,16 @@ mod tests {
     fn table_ii_semantics() {
         let pr = PageRankDelta::new(0.85, 1e-4);
         assert_eq!(pr.init_value(VertexId::new(0)), 0.0);
-        assert_eq!(pr.initial_delta(VertexId::new(0), &tiny()), Some(0.15000000000000002));
+        assert_eq!(
+            pr.initial_delta(VertexId::new(0), &tiny()),
+            Some(0.15000000000000002)
+        );
         assert_eq!(pr.reduce(1.0, 0.5), 1.5);
         assert_eq!(pr.coalesce(0.25, 0.25), 0.5);
-        let e = EdgeRef { other: VertexId::new(1), weight: 1.0 };
+        let e = EdgeRef {
+            other: VertexId::new(1),
+            weight: 1.0,
+        };
         assert_eq!(pr.propagate(1.0, VertexId::new(0), 4, e), Some(0.85 / 4.0));
     }
 
@@ -183,7 +192,10 @@ mod tests {
     #[test]
     fn dangling_source_emits_nothing() {
         let pr = PageRankDelta::new(0.85, 0.0);
-        let e = EdgeRef { other: VertexId::new(1), weight: 1.0 };
+        let e = EdgeRef {
+            other: VertexId::new(1),
+            weight: 1.0,
+        };
         assert_eq!(pr.propagate(1.0, VertexId::new(0), 0, e), None);
     }
 

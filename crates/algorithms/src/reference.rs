@@ -22,11 +22,17 @@ use crate::AdsorptionParams;
 ///
 /// Panics unless `0 < alpha < 1`.
 pub fn pagerank(graph: &CsrGraph, alpha: f64, epsilon: f64) -> Vec<f64> {
-    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&alpha) && alpha > 0.0,
+        "alpha must be in (0,1)"
+    );
     let n = graph.num_vertices();
     let mut ranks = vec![1.0 - alpha; n];
     let mut next = vec![0.0f64; n];
-    let degrees: Vec<f64> = graph.vertices().map(|v| graph.out_degree(v) as f64).collect();
+    let degrees: Vec<f64> = graph
+        .vertices()
+        .map(|v| graph.out_degree(v) as f64)
+        .collect();
     for _ in 0..10_000 {
         for x in next.iter_mut() {
             *x = 1.0 - alpha;
@@ -152,7 +158,10 @@ pub fn personalized_pagerank(
     sources: &[VertexId],
     epsilon: f64,
 ) -> Vec<f64> {
-    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&alpha) && alpha > 0.0,
+        "alpha must be in (0,1)"
+    );
     let n = graph.num_vertices();
     let mut base = vec![0.0f64; n];
     for s in sources {
@@ -160,7 +169,10 @@ pub fn personalized_pagerank(
     }
     let mut ranks = base.clone();
     let mut next = vec![0.0f64; n];
-    let degrees: Vec<f64> = graph.vertices().map(|v| graph.out_degree(v) as f64).collect();
+    let degrees: Vec<f64> = graph
+        .vertices()
+        .map(|v| graph.out_degree(v) as f64)
+        .collect();
     for _ in 0..100_000 {
         next.copy_from_slice(&base);
         for v in graph.vertices() {
@@ -237,11 +249,7 @@ pub fn count_components_union_find(graph: &CsrGraph) -> usize {
 /// `v_j ← β_j·I_j + Σ_{i→j} α_i · E_ij · v_i` until the largest change
 /// drops below `epsilon`. Expects inbound-normalized weights (see
 /// [`crate::normalize_inbound`]).
-pub fn adsorption_jacobi(
-    graph: &CsrGraph,
-    params: &AdsorptionParams,
-    epsilon: f64,
-) -> Vec<f64> {
+pub fn adsorption_jacobi(graph: &CsrGraph, params: &AdsorptionParams, epsilon: f64) -> Vec<f64> {
     let n = graph.num_vertices();
     let base: Vec<f64> = (0..n)
         .map(|i| {

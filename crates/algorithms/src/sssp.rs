@@ -112,7 +112,10 @@ mod tests {
         assert_eq!(s.initial_delta(VertexId::new(0), &tiny()), None);
         assert_eq!(s.reduce(5.0, 3.0), 3.0);
         assert_eq!(s.coalesce(7.0, 2.0), 2.0);
-        let e = EdgeRef { other: VertexId::new(1), weight: 1.5 };
+        let e = EdgeRef {
+            other: VertexId::new(1),
+            weight: 1.5,
+        };
         assert_eq!(s.propagate(2.0, VertexId::new(0), 9, e), Some(3.5));
     }
 
@@ -134,9 +137,6 @@ mod tests {
     fn identity_is_noop() {
         let s = Sssp::new(VertexId::new(0));
         assert_eq!(s.reduce(3.0, s.identity_delta()), 3.0);
-        assert_eq!(
-            s.reduce(f64::INFINITY, s.identity_delta()),
-            f64::INFINITY
-        );
+        assert_eq!(s.reduce(f64::INFINITY, s.identity_delta()), f64::INFINITY);
     }
 }

@@ -110,7 +110,10 @@ mod tests {
         let s = Sswp::new(VertexId::new(0));
         assert_eq!(s.reduce(3.0, 5.0), 5.0);
         assert_eq!(s.coalesce(2.0, 7.0), 7.0);
-        let e = EdgeRef { other: VertexId::new(1), weight: 4.0 };
+        let e = EdgeRef {
+            other: VertexId::new(1),
+            weight: 4.0,
+        };
         assert_eq!(s.propagate(9.0, VertexId::new(0), 1, e), Some(4.0));
         assert_eq!(s.propagate(2.0, VertexId::new(0), 1, e), Some(2.0));
         assert_eq!(s.reduce(1.0, s.identity_delta()), 1.0);

@@ -2,8 +2,9 @@
 //! the *reordering* property (commutative/associative reduce, distributive
 //! propagate) and the *simplification* property (identity deltas are no-ops),
 //! plus order-independence of the whole execution.
-
-use proptest::prelude::*;
+//!
+//! Randomized cases are driven by the workspace's deterministic
+//! [`gp_graph::rng::StdRng`], so every run exercises the same inputs.
 
 use gp_algorithms::engine::run_sequential;
 use gp_algorithms::{
@@ -11,13 +12,14 @@ use gp_algorithms::{
     ConnectedComponents, DeltaAlgorithm, PageRankDelta, Sssp,
 };
 use gp_graph::generators::{erdos_renyi, WeightMode};
+use gp_graph::rng::{Rng, StdRng};
 use gp_graph::{CsrGraph, EdgeRef, GraphBuilder, VertexId};
 
-fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+fn random_graph(rng: &mut StdRng) -> CsrGraph {
     // 2..40 vertices, up to 4n random edges.
-    (2usize..40, 0u64..u64::MAX).prop_map(|(n, seed)| {
-        erdos_renyi(n, n * 4, WeightMode::Uniform(1.0, 8.0), seed)
-    })
+    let n = rng.gen_range(2..40usize);
+    let seed = rng.next_u64();
+    erdos_renyi(n, n * 4, WeightMode::Uniform(1.0, 8.0), seed)
 }
 
 fn approx(a: f64, b: f64) -> bool {
@@ -27,130 +29,223 @@ fn approx(a: f64, b: f64) -> bool {
 
 // ---- reordering property: coalesce is commutative + associative ----
 
-proptest! {
-    #[test]
-    fn pagerank_coalesce_commutative_associative(a in -1e3f64..1e3, b in -1e3f64..1e3, c in -1e3f64..1e3) {
-        let pr = PageRankDelta::new(0.85, 1e-4);
-        prop_assert!(approx(pr.coalesce(a, b), pr.coalesce(b, a)));
-        prop_assert!(approx(pr.coalesce(pr.coalesce(a, b), c), pr.coalesce(a, pr.coalesce(b, c))));
+#[test]
+fn pagerank_coalesce_commutative_associative() {
+    let mut rng = StdRng::seed_from_u64(0xA1);
+    let pr = PageRankDelta::new(0.85, 1e-4);
+    for _ in 0..256 {
+        let (a, b, c) = (
+            rng.gen_range(-1e3..1e3f64),
+            rng.gen_range(-1e3..1e3f64),
+            rng.gen_range(-1e3..1e3f64),
+        );
+        assert!(approx(pr.coalesce(a, b), pr.coalesce(b, a)));
+        assert!(approx(
+            pr.coalesce(pr.coalesce(a, b), c),
+            pr.coalesce(a, pr.coalesce(b, c))
+        ));
     }
+}
 
-    #[test]
-    fn sssp_coalesce_commutative_associative(a in 0.0f64..1e6, b in 0.0f64..1e6, c in 0.0f64..1e6) {
-        let s = Sssp::new(VertexId::new(0));
-        prop_assert_eq!(s.coalesce(a, b), s.coalesce(b, a));
-        prop_assert_eq!(s.coalesce(s.coalesce(a, b), c), s.coalesce(a, s.coalesce(b, c)));
+#[test]
+fn sssp_coalesce_commutative_associative() {
+    let mut rng = StdRng::seed_from_u64(0xA2);
+    let s = Sssp::new(VertexId::new(0));
+    for _ in 0..256 {
+        let (a, b, c) = (
+            rng.gen_range(0.0..1e6f64),
+            rng.gen_range(0.0..1e6f64),
+            rng.gen_range(0.0..1e6f64),
+        );
+        assert_eq!(s.coalesce(a, b), s.coalesce(b, a));
+        assert_eq!(
+            s.coalesce(s.coalesce(a, b), c),
+            s.coalesce(a, s.coalesce(b, c))
+        );
     }
+}
 
-    #[test]
-    fn bfs_coalesce_commutative_associative(a: u32, b: u32, c: u32) {
-        let s = Bfs::new(VertexId::new(0));
-        prop_assert_eq!(s.coalesce(a, b), s.coalesce(b, a));
-        prop_assert_eq!(s.coalesce(s.coalesce(a, b), c), s.coalesce(a, s.coalesce(b, c)));
+#[test]
+fn bfs_coalesce_commutative_associative() {
+    let mut rng = StdRng::seed_from_u64(0xA3);
+    let s = Bfs::new(VertexId::new(0));
+    for _ in 0..256 {
+        let (a, b, c) = (
+            rng.next_u64() as u32,
+            rng.next_u64() as u32,
+            rng.next_u64() as u32,
+        );
+        assert_eq!(s.coalesce(a, b), s.coalesce(b, a));
+        assert_eq!(
+            s.coalesce(s.coalesce(a, b), c),
+            s.coalesce(a, s.coalesce(b, c))
+        );
     }
+}
 
-    #[test]
-    fn cc_coalesce_commutative_associative(a: i64, b: i64, c: i64) {
-        let s = ConnectedComponents::new();
-        prop_assert_eq!(s.coalesce(a, b), s.coalesce(b, a));
-        prop_assert_eq!(s.coalesce(s.coalesce(a, b), c), s.coalesce(a, s.coalesce(b, c)));
+#[test]
+fn cc_coalesce_commutative_associative() {
+    let mut rng = StdRng::seed_from_u64(0xA4);
+    let s = ConnectedComponents::new();
+    for _ in 0..256 {
+        let (a, b, c) = (
+            rng.next_u64() as i64,
+            rng.next_u64() as i64,
+            rng.next_u64() as i64,
+        );
+        assert_eq!(s.coalesce(a, b), s.coalesce(b, a));
+        assert_eq!(
+            s.coalesce(s.coalesce(a, b), c),
+            s.coalesce(a, s.coalesce(b, c))
+        );
     }
+}
 
-    // Propagate distributes over coalesce: g(x ⊕ y) == g(x) ⊕ g(y).
-    #[test]
-    fn pagerank_propagate_distributes(x in -1e3f64..1e3, y in -1e3f64..1e3, deg in 1u32..64) {
-        let pr = PageRankDelta::new(0.85, 1e-4);
-        let e = EdgeRef { other: VertexId::new(1), weight: 1.0 };
-        let lhs = pr.propagate(pr.coalesce(x, y), VertexId::new(0), deg, e).unwrap();
+// Propagate distributes over coalesce: g(x ⊕ y) == g(x) ⊕ g(y).
+#[test]
+fn pagerank_propagate_distributes() {
+    let mut rng = StdRng::seed_from_u64(0xA5);
+    let pr = PageRankDelta::new(0.85, 1e-4);
+    for _ in 0..256 {
+        let x = rng.gen_range(-1e3..1e3f64);
+        let y = rng.gen_range(-1e3..1e3f64);
+        let deg = rng.gen_range(1..64u32);
+        let e = EdgeRef {
+            other: VertexId::new(1),
+            weight: 1.0,
+        };
+        let lhs = pr
+            .propagate(pr.coalesce(x, y), VertexId::new(0), deg, e)
+            .unwrap();
         let rhs = pr.coalesce(
             pr.propagate(x, VertexId::new(0), deg, e).unwrap(),
             pr.propagate(y, VertexId::new(0), deg, e).unwrap(),
         );
-        prop_assert!(approx(lhs, rhs));
+        assert!(approx(lhs, rhs));
     }
+}
 
-    #[test]
-    fn sssp_propagate_distributes(x in 0.0f64..1e6, y in 0.0f64..1e6, w in 0.0f32..100.0) {
-        let s = Sssp::new(VertexId::new(0));
-        let e = EdgeRef { other: VertexId::new(1), weight: w };
-        let lhs = s.propagate(s.coalesce(x, y), VertexId::new(0), 1, e).unwrap();
+#[test]
+fn sssp_propagate_distributes() {
+    let mut rng = StdRng::seed_from_u64(0xA6);
+    let s = Sssp::new(VertexId::new(0));
+    for _ in 0..256 {
+        let x = rng.gen_range(0.0..1e6f64);
+        let y = rng.gen_range(0.0..1e6f64);
+        let w = rng.gen_range(0.0f32..100.0);
+        let e = EdgeRef {
+            other: VertexId::new(1),
+            weight: w,
+        };
+        let lhs = s
+            .propagate(s.coalesce(x, y), VertexId::new(0), 1, e)
+            .unwrap();
         let rhs = s.coalesce(
             s.propagate(x, VertexId::new(0), 1, e).unwrap(),
             s.propagate(y, VertexId::new(0), 1, e).unwrap(),
         );
-        prop_assert!(approx(lhs, rhs));
+        assert!(approx(lhs, rhs));
     }
+}
 
-    // ---- simplification property: identity deltas are no-ops ----
+// ---- simplification property: identity deltas are no-ops ----
 
-    #[test]
-    fn identities_are_noops(v in -1e6f64..1e6, lvl: u32, label in -1i64..i64::MAX) {
+#[test]
+fn identities_are_noops() {
+    let mut rng = StdRng::seed_from_u64(0xA7);
+    for _ in 0..256 {
+        let v = rng.gen_range(-1e6..1e6f64);
+        let lvl = rng.next_u64() as u32;
         // CC's identity (-1, per Table II) is an identity on the reachable
         // state space: init value -1 and vertex-id labels >= 0.
+        let label = (rng.next_u64() >> 1) as i64 - 1;
         let pr = PageRankDelta::new(0.85, 1e-4);
-        prop_assert_eq!(pr.reduce(v, pr.identity_delta()), v);
+        assert_eq!(pr.reduce(v, pr.identity_delta()), v);
         let s = Sssp::new(VertexId::new(0));
-        prop_assert_eq!(s.reduce(v.abs(), s.identity_delta()), v.abs());
+        assert_eq!(s.reduce(v.abs(), s.identity_delta()), v.abs());
         let b = Bfs::new(VertexId::new(0));
-        prop_assert_eq!(b.reduce(lvl, b.identity_delta()), lvl);
+        assert_eq!(b.reduce(lvl, b.identity_delta()), lvl);
         let c = ConnectedComponents::new();
-        prop_assert_eq!(c.reduce(label, c.identity_delta()), label);
+        assert_eq!(c.reduce(label, c.identity_delta()), label);
     }
 }
 
 // ---- whole-execution equivalences on random graphs ----
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn sequential_matches_dijkstra(g in arb_graph()) {
+#[test]
+fn sequential_matches_dijkstra() {
+    let mut rng = StdRng::seed_from_u64(0xB1);
+    for _ in 0..24 {
+        let g = random_graph(&mut rng);
         let root = VertexId::new(0);
         let out = run_sequential(&Sssp::new(root), &g);
         let golden = reference::sssp_dijkstra(&g, root);
-        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-6);
+        assert!(max_abs_diff(&out.values, &golden) < 1e-6);
     }
+}
 
-    #[test]
-    fn sequential_matches_bfs(g in arb_graph()) {
+#[test]
+fn sequential_matches_bfs() {
+    let mut rng = StdRng::seed_from_u64(0xB2);
+    for _ in 0..24 {
+        let g = random_graph(&mut rng);
         let root = VertexId::new(1);
         let out = run_sequential(&Bfs::new(root), &g);
         let golden = reference::bfs_levels(&g, root);
-        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-9);
+        assert!(max_abs_diff(&out.values, &golden) < 1e-9);
     }
+}
 
-    #[test]
-    fn sequential_matches_label_propagation(g in arb_graph()) {
+#[test]
+fn sequential_matches_label_propagation() {
+    let mut rng = StdRng::seed_from_u64(0xB3);
+    for _ in 0..24 {
+        let g = random_graph(&mut rng);
         let out = run_sequential(&ConnectedComponents::new(), &g);
         let golden = reference::cc_labels(&g);
-        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-9);
+        assert!(max_abs_diff(&out.values, &golden) < 1e-9);
     }
+}
 
-    #[test]
-    fn sequential_matches_power_iteration(g in arb_graph()) {
+#[test]
+fn sequential_matches_power_iteration() {
+    let mut rng = StdRng::seed_from_u64(0xB4);
+    for _ in 0..24 {
+        let g = random_graph(&mut rng);
         let out = run_sequential(&PageRankDelta::new(0.85, 1e-11), &g);
         let golden = reference::pagerank(&g, 0.85, 1e-13);
-        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-4);
+        assert!(max_abs_diff(&out.values, &golden) < 1e-4);
     }
+}
 
-    #[test]
-    fn sequential_matches_jacobi_adsorption(g in arb_graph(), seed: u64) {
+#[test]
+fn sequential_matches_jacobi_adsorption() {
+    let mut rng = StdRng::seed_from_u64(0xB5);
+    for _ in 0..24 {
+        let g = random_graph(&mut rng);
+        let seed = rng.next_u64();
         let g = normalize_inbound(&g);
         let params = AdsorptionParams::random(g.num_vertices(), seed);
         let out = run_sequential(&Adsorption::new(params.clone(), 1e-11), &g);
         let golden = reference::adsorption_jacobi(&g, &params, 1e-13);
-        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-4);
+        assert!(max_abs_diff(&out.values, &golden) < 1e-4);
     }
+}
 
-    // Event delivery order must not change results (asynchrony safety):
-    // the FIFO-async executor and the barrier-synchronous executor apply
-    // deltas in very different orders yet must reach the same fixpoint.
-    #[test]
-    fn cc_fixpoint_is_order_independent(n in 3usize..30, seed: u64) {
+// Event delivery order must not change results (asynchrony safety):
+// the FIFO-async executor and the barrier-synchronous executor apply
+// deltas in very different orders yet must reach the same fixpoint.
+#[test]
+fn cc_fixpoint_is_order_independent() {
+    let mut rng = StdRng::seed_from_u64(0xB6);
+    for _ in 0..24 {
+        let n = rng.gen_range(3..30usize);
+        let seed = rng.next_u64();
         let g = erdos_renyi(n, n * 3, WeightMode::Unweighted, seed);
         let asynchronous = run_sequential(&ConnectedComponents::new(), &g);
-        let (synchronous, _) = gp_algorithms::engine::run_bsp(&ConnectedComponents::new(), &g, 10_000);
-        prop_assert_eq!(asynchronous.values, synchronous.values);
+        let (synchronous, _) =
+            gp_algorithms::engine::run_bsp(&ConnectedComponents::new(), &g, 10_000);
+        assert_eq!(asynchronous.values, synchronous.values);
     }
 }
 

@@ -22,10 +22,9 @@ use gp_algorithms::DeltaAlgorithm;
 use gp_graph::{CsrGraph, VertexId};
 use gp_mem::{line_base, DramConfig, MemRequest, MemStats, MemorySystem, TrafficClass, LINE_BYTES};
 use gp_sim::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the Graphicionado model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GraphicionadoConfig {
     /// Parallel edge-processing streams (8 in the paper's comparison).
     pub streams: usize,
@@ -92,7 +91,11 @@ pub fn run<A: DeltaAlgorithm>(
     cfg: &GraphicionadoConfig,
 ) -> GraphicionadoOutput {
     let n = graph.num_vertices();
-    let edge_bytes = if graph.is_weighted() { cfg.edge_bytes * 2 } else { cfg.edge_bytes };
+    let edge_bytes = if graph.is_weighted() {
+        cfg.edge_bytes * 2
+    } else {
+        cfg.edge_bytes
+    };
     let vertex_base = 0u64;
     let edge_base = {
         let end = vertex_base + n as u64 * u64::from(cfg.vertex_bytes);
@@ -170,8 +173,7 @@ pub fn run<A: DeltaAlgorithm>(
             if degree == 0 {
                 continue;
             }
-            let start = edge_base
-                + graph.out_edge_base(uid) as u64 * u64::from(edge_bytes);
+            let start = edge_base + graph.out_edge_base(uid) as u64 * u64::from(edge_bytes);
             let bytes = u64::from(degree) * u64::from(edge_bytes);
             for line in gp_mem::prefetch::lines_covering(start, bytes) {
                 if line == prev_line {
@@ -289,7 +291,11 @@ mod tests {
     #[test]
     fn pagerank_matches_reference() {
         let g = rmat(&RmatConfig::graph500(256, 2_000), 3);
-        let out = run(&g, &PageRankDelta::new(0.85, 1e-9), &GraphicionadoConfig::default());
+        let out = run(
+            &g,
+            &PageRankDelta::new(0.85, 1e-9),
+            &GraphicionadoConfig::default(),
+        );
         let golden = reference::pagerank(&g, 0.85, 1e-11);
         assert!(max_abs_diff(&out.values, &golden) < 1e-4);
         assert!(out.iterations > 3);
@@ -300,7 +306,11 @@ mod tests {
     #[test]
     fn sssp_matches_dijkstra() {
         let g = erdos_renyi(200, 1_200, WeightMode::Uniform(1.0, 8.0), 5);
-        let out = run(&g, &Sssp::new(VertexId::new(0)), &GraphicionadoConfig::default());
+        let out = run(
+            &g,
+            &Sssp::new(VertexId::new(0)),
+            &GraphicionadoConfig::default(),
+        );
         let golden = reference::sssp_dijkstra(&g, VertexId::new(0));
         assert!(max_abs_diff(&out.values, &golden) < 1e-6);
     }
@@ -308,9 +318,17 @@ mod tests {
     #[test]
     fn bfs_and_cc_complete() {
         let g = erdos_renyi(150, 700, WeightMode::Unweighted, 8);
-        let bfs = run(&g, &Bfs::new(VertexId::new(0)), &GraphicionadoConfig::default());
+        let bfs = run(
+            &g,
+            &Bfs::new(VertexId::new(0)),
+            &GraphicionadoConfig::default(),
+        );
         assert!(max_abs_diff(&bfs.values, &reference::bfs_levels(&g, VertexId::new(0))) < 1e-9);
-        let cc = run(&g, &ConnectedComponents::new(), &GraphicionadoConfig::default());
+        let cc = run(
+            &g,
+            &ConnectedComponents::new(),
+            &GraphicionadoConfig::default(),
+        );
         assert!(max_abs_diff(&cc.values, &reference::cc_labels(&g)) < 1e-9);
     }
 
@@ -320,12 +338,18 @@ mod tests {
         let ideal = run(
             &g,
             &PageRankDelta::new(0.85, 1e-6),
-            &GraphicionadoConfig { overlap_efficiency: 1.0, ..Default::default() },
+            &GraphicionadoConfig {
+                overlap_efficiency: 1.0,
+                ..Default::default()
+            },
         );
         let real = run(
             &g,
             &PageRankDelta::new(0.85, 1e-6),
-            &GraphicionadoConfig { overlap_efficiency: 0.5, ..Default::default() },
+            &GraphicionadoConfig {
+                overlap_efficiency: 0.5,
+                ..Default::default()
+            },
         );
         assert!(real.cycles > ideal.cycles);
         assert_eq!(real.values, ideal.values);
@@ -337,12 +361,18 @@ mod tests {
         let slow = run(
             &g,
             &PageRankDelta::new(0.85, 1e-6),
-            &GraphicionadoConfig { streams: 1, ..Default::default() },
+            &GraphicionadoConfig {
+                streams: 1,
+                ..Default::default()
+            },
         );
         let fast = run(
             &g,
             &PageRankDelta::new(0.85, 1e-6),
-            &GraphicionadoConfig { streams: 16, ..Default::default() },
+            &GraphicionadoConfig {
+                streams: 16,
+                ..Default::default()
+            },
         );
         assert!(fast.cycles <= slow.cycles);
     }
@@ -350,7 +380,11 @@ mod tests {
     #[test]
     fn empty_graph_finishes_instantly() {
         let g = gp_graph::GraphBuilder::new(0).build();
-        let out = run(&g, &ConnectedComponents::new(), &GraphicionadoConfig::default());
+        let out = run(
+            &g,
+            &ConnectedComponents::new(),
+            &GraphicionadoConfig::default(),
+        );
         assert_eq!(out.iterations, 0);
         assert!(out.values.is_empty());
     }

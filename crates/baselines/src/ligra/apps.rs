@@ -38,7 +38,13 @@ impl EdgeOp for BfsOp<'_> {
 pub fn bfs(graph: &CsrGraph, root: VertexId, cfg: &LigraConfig) -> LigraOutput {
     let n = graph.num_vertices();
     let start = Instant::now();
-    let levels = atomic_vec((0..n).map(|i| if i == root.index() { 0.0 } else { f64::INFINITY }));
+    let levels = atomic_vec((0..n).map(|i| {
+        if i == root.index() {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }));
     let mut frontier = VertexSubset::single(n, root);
     let mut iterations = 0;
     while !frontier.is_empty() && iterations < cfg.max_iterations {
@@ -83,7 +89,13 @@ impl EdgeOp for SsspOp<'_> {
 pub fn sssp(graph: &CsrGraph, root: VertexId, cfg: &LigraConfig) -> LigraOutput {
     let n = graph.num_vertices();
     let start = Instant::now();
-    let dist = atomic_vec((0..n).map(|i| if i == root.index() { 0.0 } else { f64::INFINITY }));
+    let dist = atomic_vec((0..n).map(|i| {
+        if i == root.index() {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }));
     let mut frontier = VertexSubset::single(n, root);
     let mut iterations = 0;
     while !frontier.is_empty() && iterations < cfg.max_iterations {
@@ -177,7 +189,7 @@ pub fn pagerank_delta(graph: &CsrGraph, alpha: f64, eps: f64, cfg: &LigraConfig)
     let start = Instant::now();
     let mut p: Vec<f64> = vec![1.0 - alpha; n];
     let mut delta: Vec<f64> = vec![1.0 - alpha; n];
-    let next = atomic_vec(std::iter::repeat(0.0).take(n));
+    let next = atomic_vec(std::iter::repeat_n(0.0, n));
     let mut frontier = VertexSubset::all(n);
     let mut iterations = 0;
     while !frontier.is_empty() && iterations < cfg.max_iterations {
@@ -252,7 +264,7 @@ pub fn adsorption(
         })
         .collect();
     let mut delta: Vec<f64> = p.clone();
-    let next = atomic_vec(std::iter::repeat(0.0).take(n));
+    let next = atomic_vec(std::iter::repeat_n(0.0, n));
     let mut frontier = VertexSubset::all(n);
     let mut iterations = 0;
     while !frontier.is_empty() && iterations < cfg.max_iterations {

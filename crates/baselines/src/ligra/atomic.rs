@@ -125,16 +125,15 @@ mod tests {
     #[test]
     fn add_accumulates_under_contention() {
         let a = AtomicF64::new(0.0);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..4 {
-                s.spawn(|_| {
+                s.spawn(|| {
                     for _ in 0..1_000 {
                         a.fetch_add(1.0);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(a.load(), 4_000.0);
     }
 

@@ -47,11 +47,10 @@ pub fn edge_map(
     let work = frontier.len() + frontier_edges;
     // div == 0 disables the dense direction entirely (useful for tests and
     // ablations); Ligra's default divisor is 20.
-    let threshold = if cfg.dense_threshold_div == 0 {
-        usize::MAX
-    } else {
-        graph.num_edges() / cfg.dense_threshold_div
-    };
+    let threshold = graph
+        .num_edges()
+        .checked_div(cfg.dense_threshold_div)
+        .unwrap_or(usize::MAX);
     if work > threshold {
         edge_map_dense(graph, frontier, op, cfg)
     } else {
@@ -75,10 +74,10 @@ fn edge_map_dense(
     if chunk == 0 {
         return VertexSubset::empty(n);
     }
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (t, out) in bits.chunks_mut(chunk).enumerate() {
             let in_frontier = &in_frontier;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let base = t * chunk;
                 for (i, slot) in out.iter_mut().enumerate() {
                     let dst = VertexId::from_index(base + i);
@@ -96,8 +95,7 @@ fn edge_map_dense(
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     VertexSubset::from_dense(n, bits)
 }
 
@@ -115,11 +113,11 @@ fn edge_map_sparse(
     let threads = cfg.threads.max(1);
     let chunk = active.len().div_ceil(threads).max(1);
     let mut next: Vec<u32> = Vec::new();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for part in active.chunks(chunk) {
             let claimed = &claimed;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 let mut local: Vec<u32> = Vec::new();
                 for &u in part {
                     let u = VertexId::new(u);
@@ -138,8 +136,7 @@ fn edge_map_sparse(
         for h in handles {
             next.extend(h.join().expect("worker panicked"));
         }
-    })
-    .expect("scope failed");
+    });
     VertexSubset::from_sparse(n, next)
 }
 

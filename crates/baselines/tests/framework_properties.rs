@@ -1,17 +1,24 @@
 //! Property tests of the software baseline: results are independent of the
 //! thread count and of the push/pull direction decision, and always match
 //! the golden references.
-
-use proptest::prelude::*;
+//!
+//! Randomized cases are driven by the workspace's deterministic
+//! [`gp_graph::rng::StdRng`], so every run exercises the same inputs.
 
 use gp_algorithms::{max_abs_diff, reference};
 use gp_baselines::ligra::{apps, LigraConfig};
 use gp_graph::generators::{erdos_renyi, WeightMode};
+use gp_graph::rng::{Rng, StdRng};
 use gp_graph::{CsrGraph, VertexId};
 
-fn arb_graph() -> impl Strategy<Value = CsrGraph> {
-    (2usize..80, 0u64..u64::MAX)
-        .prop_map(|(n, seed)| erdos_renyi(n, n * 4, WeightMode::Uniform(1.0, 7.0), seed))
+fn random_graph(rng: &mut StdRng) -> CsrGraph {
+    let n = rng.gen_range(2..80usize);
+    let seed = rng.next_u64();
+    erdos_renyi(n, n * 4, WeightMode::Uniform(1.0, 7.0), seed)
+}
+
+fn random_div(rng: &mut StdRng) -> usize {
+    [0usize, 20, usize::MAX][rng.gen_range(0..3usize)]
 }
 
 fn cfg(threads: usize, div: usize) -> LigraConfig {
@@ -22,45 +29,52 @@ fn cfg(threads: usize, div: usize) -> LigraConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn bfs_invariant_to_threads_and_direction(
-        g in arb_graph(),
-        threads in 1usize..5,
-        div in prop_oneof![Just(0usize), Just(20), Just(usize::MAX)],
-    ) {
+#[test]
+fn bfs_invariant_to_threads_and_direction() {
+    let mut rng = StdRng::seed_from_u64(0xF1);
+    for _ in 0..16 {
+        let g = random_graph(&mut rng);
+        let threads = rng.gen_range(1..5usize);
+        let div = random_div(&mut rng);
         let out = apps::bfs(&g, VertexId::new(0), &cfg(threads, div));
         let golden = reference::bfs_levels(&g, VertexId::new(0));
-        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-9);
+        assert!(max_abs_diff(&out.values, &golden) < 1e-9);
     }
+}
 
-    #[test]
-    fn sssp_invariant_to_threads_and_direction(
-        g in arb_graph(),
-        threads in 1usize..5,
-        div in prop_oneof![Just(0usize), Just(20), Just(usize::MAX)],
-    ) {
+#[test]
+fn sssp_invariant_to_threads_and_direction() {
+    let mut rng = StdRng::seed_from_u64(0xF2);
+    for _ in 0..16 {
+        let g = random_graph(&mut rng);
+        let threads = rng.gen_range(1..5usize);
+        let div = random_div(&mut rng);
         let out = apps::sssp(&g, VertexId::new(0), &cfg(threads, div));
         let golden = reference::sssp_dijkstra(&g, VertexId::new(0));
-        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-9);
+        assert!(max_abs_diff(&out.values, &golden) < 1e-9);
     }
+}
 
-    #[test]
-    fn cc_invariant_to_threads(g in arb_graph(), threads in 1usize..5) {
+#[test]
+fn cc_invariant_to_threads() {
+    let mut rng = StdRng::seed_from_u64(0xF3);
+    for _ in 0..16 {
+        let g = random_graph(&mut rng);
+        let threads = rng.gen_range(1..5usize);
         let out = apps::cc(&g, &cfg(threads, 20));
         let golden = reference::cc_labels(&g);
-        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-9);
+        assert!(max_abs_diff(&out.values, &golden) < 1e-9);
     }
+}
 
-    #[test]
-    fn pagerank_deterministic_modulo_float_reassociation(
-        g in arb_graph(),
-        threads in 1usize..5,
-    ) {
+#[test]
+fn pagerank_deterministic_modulo_float_reassociation() {
+    let mut rng = StdRng::seed_from_u64(0xF4);
+    for _ in 0..16 {
+        let g = random_graph(&mut rng);
+        let threads = rng.gen_range(1..5usize);
         let a = apps::pagerank_delta(&g, 0.85, 1e-10, &cfg(threads, 20));
         let golden = reference::pagerank(&g, 0.85, 1e-12);
-        prop_assert!(max_abs_diff(&a.values, &golden) < 1e-4);
+        assert!(max_abs_diff(&a.values, &golden) < 1e-4);
     }
 }

@@ -1,28 +1,174 @@
-//! Criterion bench behind Fig. 10: end-to-end accelerator runs, one per
-//! application, on a small LiveJournal-profile graph.
+//! Bench behind Fig. 10: end-to-end accelerator runs, one per
+//! application, on a small LiveJournal-profile graph — plus the
+//! shard-parallel worker sweep.
+//!
+//! The per-app section reports wall-clock medians next to the simulated
+//! cycle counts (the figure's actual metric, which is deterministic).
+//!
+//! The sweep section runs PageRank-Delta on a 2^18-vertex R-MAT through
+//! the shard-parallel engine at 1/2/4/8 workers. The engine guarantees
+//! bit-identical vertex values, cycle counts, and stat registries for
+//! every worker count, so the only thing that changes is how the shard
+//! work is spread over threads. The table reports two self-relative
+//! speedups over the 1-worker run: wall-clock (capped by this host's
+//! core count) and work-distribution (total shard ticks divided by the
+//! critical-path worker's share — the deterministic speedup a host with
+//! enough cores realizes).
+//!
+//! `--sweep-only` skips the per-app section. The sweep's shape can be
+//! overridden for quick runs via environment variables:
+//! `SWEEP_LOG2_N` (default 18), `SWEEP_DEGREE` (default 4),
+//! `SWEEP_SHARDS` (default 16), `SWEEP_EPS` (default 1e-3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gp_bench::{gp_config, prepare, run_graphpulse, App};
+use std::time::Instant;
+
+use gp_algorithms::PageRankDelta;
+use gp_bench::{gp_config, microbench, prepare, print_table, run_graphpulse, App};
+use gp_graph::generators::{rmat, RmatConfig};
+use gp_graph::partition::{permute, scatter_permutation};
 use gp_graph::workloads::Workload;
+use graphpulse_core::{AcceleratorConfig, GraphPulse, QueueConfig};
 
-fn bench_apps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
+fn per_app_runs() {
+    println!("\n== end_to_end: per-app runs (LiveJournal profile) ==\n");
     for app in App::ALL {
         let prepared = prepare(Workload::LiveJournal, app, 4096, 7);
         let cfg = gp_config(Workload::LiveJournal, &prepared.graph, true);
-        group.bench_with_input(BenchmarkId::from_parameter(app.label()), &prepared, |b, p| {
-            b.iter(|| run_graphpulse(app, p, &cfg).report.cycles);
+        let mut cycles = 0;
+        microbench::report(&format!("end_to_end/{}", app.label()), 3, || {
+            cycles = run_graphpulse(app, &prepared, &cfg).report.cycles;
         });
+        println!("{:<40} {cycles:>10} simulated cycles", "");
     }
-    group.finish();
 }
 
-criterion_group!{
-    name = benches;
-    // Simulated (deterministic) timings have zero variance, which the
-    // plotting backend cannot render — disable plots.
-    config = Criterion::default().without_plots();
-    targets = bench_apps
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
-criterion_main!(benches);
+
+fn worker_sweep() {
+    let log2_n: u32 = env_or("SWEEP_LOG2_N", 18);
+    let degree: usize = env_or("SWEEP_DEGREE", 4);
+    let shards: usize = env_or("SWEEP_SHARDS", 16);
+    let eps: f64 = env_or("SWEEP_EPS", 1e-3);
+    let n = 1usize << log2_n;
+
+    println!("\n== end_to_end: shard-parallel worker sweep ==");
+    println!(
+        "   (2^{log2_n} = {n} vertices, {} edges, {shards} shards, eps {eps:e})\n",
+        n * degree
+    );
+
+    let t0 = Instant::now();
+    // Scatter the R-MAT hubs across the vertex range so contiguous shards
+    // carry comparable event load (otherwise shard 0 serializes the run).
+    let raw = rmat(&RmatConfig::graph500(n, n * degree), 42);
+    let graph = permute(&raw, &scatter_permutation(n, 7));
+    drop(raw);
+    println!("graph generated in {:.1} s", t0.elapsed().as_secs_f64());
+    let algo = PageRankDelta::new(0.85, eps);
+
+    // Shrink the queue so each shard holds n/shards vertices (the shard
+    // count derives from capacity, never from the worker count — that is
+    // what keeps results worker-independent).
+    let per_shard = n / shards;
+    let mut cfg = AcceleratorConfig::optimized();
+    cfg.queue = QueueConfig {
+        bins: 8,
+        rows: per_shard / 64,
+        cols: 8,
+    };
+    assert_eq!(
+        cfg.queue.capacity(),
+        per_shard,
+        "shard size must divide evenly"
+    );
+    cfg.input_buffer = 64;
+    cfg.parallel.epoch_cycles = 16_384;
+
+    // The wall-clock column depends on how many hardware cores this host
+    // exposes; the work column is host-independent — it divides the total
+    // simulation work (ticks, identical for every worker count) by the
+    // critical-path worker's share, i.e. the speedup a host with enough
+    // cores realizes.
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("host exposes {cores} hardware thread(s); wall-clock speedup is capped there\n");
+
+    let work_speedup = |ticks: &[u64], workers: usize| -> f64 {
+        let chunk = ticks.len().div_ceil(workers);
+        let total: u64 = ticks.iter().sum();
+        let critical: u64 = ticks
+            .chunks(chunk)
+            .map(|c| c.iter().sum())
+            .max()
+            .unwrap_or(1);
+        total as f64 / critical.max(1) as f64
+    };
+
+    let mut rows = Vec::new();
+    let mut base_secs = 0.0f64;
+    let mut base_cycles = 0u64;
+    let mut speedup4 = 0.0f64;
+    for workers in [1usize, 2, 4, 8] {
+        cfg.parallel.workers = workers;
+        let accel = GraphPulse::new(cfg.clone());
+        let t0 = Instant::now();
+        let out = accel.run_parallel(&graph, &algo).expect("parallel run");
+        let secs = t0.elapsed().as_secs_f64();
+        if workers == 1 {
+            base_secs = secs;
+            base_cycles = out.report.cycles;
+        }
+        assert_eq!(
+            out.report.cycles, base_cycles,
+            "parallel engine must be cycle-deterministic across worker counts"
+        );
+        let work = work_speedup(&out.shard_ticks, workers);
+        if workers == 4 {
+            speedup4 = work;
+        }
+        println!(
+            "workers={workers:<2} shards={:<3} {:>9.1} ms  wall speedup {:>5.2}x  work speedup {:>5.2}x",
+            out.shards,
+            secs * 1e3,
+            base_secs / secs,
+            work,
+        );
+        rows.push(vec![
+            workers.to_string(),
+            out.shards.to_string(),
+            format!("{:.1}", secs * 1e3),
+            format!("{:.2}", base_secs / secs),
+            format!("{:.2}", work),
+            out.report.cycles.to_string(),
+        ]);
+    }
+    print_table(
+        "end_to_end worker sweep (R-MAT, PageRank-Delta)",
+        &[
+            "workers",
+            "shards",
+            "ms",
+            "wall_speedup",
+            "work_speedup",
+            "cycles",
+        ],
+        &rows,
+    );
+    assert!(
+        speedup4 >= 2.0,
+        "4-worker work-distribution speedup {speedup4:.2}x fell below 2x: shards are imbalanced"
+    );
+    println!("\n4-worker work-distribution speedup: {speedup4:.2}x (>= 2x required)");
+}
+
+fn main() {
+    let sweep_only = std::env::args().any(|a| a == "--sweep-only");
+    if !sweep_only {
+        per_app_runs();
+    }
+    worker_sweep();
+}

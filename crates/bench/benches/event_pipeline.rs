@@ -1,48 +1,40 @@
-//! Criterion bench behind Figs. 13/14: the event processing/generation
-//! pipeline — optimized (prefetch + 4 streams) vs baseline (demand reads,
-//! 1 stream) on the same graph, plus the Graphicionado BSP model.
+//! Bench behind Figs. 13/14: the event processing/generation pipeline —
+//! optimized (prefetch + 4 streams) vs baseline (demand reads, 1 stream)
+//! on the same graph, plus the Graphicionado BSP model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gp_baselines::graphicionado::GraphicionadoConfig;
-use gp_bench::{prepare, run_graphicionado, run_graphpulse, App};
+use gp_bench::{microbench, prepare, run_graphicionado, run_graphpulse, App};
 use gp_graph::workloads::Workload;
 use graphpulse_core::{AcceleratorConfig, QueueConfig};
 
 fn small_queue(mut cfg: AcceleratorConfig) -> AcceleratorConfig {
-    cfg.queue = QueueConfig { bins: 8, rows: 512, cols: 16 };
+    cfg.queue = QueueConfig {
+        bins: 8,
+        rows: 512,
+        cols: 16,
+    };
     cfg.input_buffer = 16;
     cfg
 }
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_pipeline");
-    group.sample_size(10);
+fn main() {
+    println!("## event_pipeline");
     let prepared = prepare(Workload::WebGoogle, App::PageRank, 2048, 3);
 
     let opt = small_queue(AcceleratorConfig::optimized());
-    group.bench_function(BenchmarkId::from_parameter("gp_optimized"), |b| {
-        b.iter(|| run_graphpulse(App::PageRank, &prepared, &opt).report.cycles);
+    microbench::report("event_pipeline/gp_optimized", 10, || {
+        run_graphpulse(App::PageRank, &prepared, &opt).report.cycles
     });
 
     let mut base = small_queue(AcceleratorConfig::baseline());
     base.processors = 32; // keep the bench affordable; same per-cycle shape
-    group.bench_function(BenchmarkId::from_parameter("gp_baseline"), |b| {
-        b.iter(|| run_graphpulse(App::PageRank, &prepared, &base).report.cycles);
+    microbench::report("event_pipeline/gp_baseline", 10, || {
+        run_graphpulse(App::PageRank, &prepared, &base)
+            .report
+            .cycles
     });
 
-    group.bench_function(BenchmarkId::from_parameter("graphicionado"), |b| {
-        b.iter(|| {
-            run_graphicionado(App::PageRank, &prepared, &GraphicionadoConfig::default()).cycles
-        });
+    microbench::report("event_pipeline/graphicionado", 10, || {
+        run_graphicionado(App::PageRank, &prepared, &GraphicionadoConfig::default()).cycles
     });
-    group.finish();
 }
-
-criterion_group!{
-    name = benches;
-    // Simulated (deterministic) timings have zero variance, which the
-    // plotting backend cannot render — disable plots.
-    config = Criterion::default().without_plots();
-    targets = bench_pipeline
-}
-criterion_main!(benches);

@@ -1,29 +1,17 @@
-//! Criterion bench of the software baseline (denominator of Fig. 10):
-//! the Ligra-style framework on the five applications.
+//! Bench of the software baseline (denominator of Fig. 10): the
+//! Ligra-style framework on the five applications.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gp_bench::{prepare, run_ligra, App};
 use gp_baselines::ligra::LigraConfig;
+use gp_bench::{microbench, prepare, run_ligra, App};
 use gp_graph::workloads::Workload;
 
-fn bench_ligra(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ligra_baseline");
-    group.sample_size(10);
+fn main() {
+    println!("## ligra_baseline");
     let cfg = LigraConfig::default();
     for app in App::ALL {
         let prepared = prepare(Workload::WebGoogle, app, 1024, 5);
-        group.bench_with_input(BenchmarkId::from_parameter(app.label()), &prepared, |b, p| {
-            b.iter(|| run_ligra(app, p, &cfg).iterations);
+        microbench::report(&format!("ligra_baseline/{}", app.label()), 10, || {
+            run_ligra(app, &prepared, &cfg).iterations
         });
     }
-    group.finish();
 }
-
-criterion_group!{
-    name = benches;
-    // Simulated (deterministic) timings have zero variance, which the
-    // plotting backend cannot render — disable plots.
-    config = Criterion::default().without_plots();
-    targets = bench_ligra
-}
-criterion_main!(benches);

@@ -1,15 +1,18 @@
-//! Criterion bench behind Figs. 11/12: *modeled* DRAM throughput under
-//! sequential vs random access streams.
+//! Bench behind Figs. 11/12: *modeled* DRAM throughput under sequential
+//! vs random access streams, plus a shard-style parallel drive.
 //!
-//! Uses `iter_custom` to report **simulated** time (1 ns per modeled cycle
-//! at the paper's 1 GHz clock), so the throughput lines read as the DRAM
-//! model's achieved bandwidth: sequential streams ride row-buffer hits and
-//! all four channels (~60 GB/s of the 68 GB/s peak), random single-channel
-//! row-conflict streams collapse to a fraction of that.
+//! Simulated time is 1 ns per modeled cycle at the paper's 1 GHz clock,
+//! so the throughput lines read as the DRAM model's achieved bandwidth:
+//! sequential streams ride row-buffer hits and all four channels
+//! (~60 GB/s of the 68 GB/s peak), random single-channel row-conflict
+//! streams collapse to a fraction of that.
+//!
+//! The parallel section mirrors the shard-parallel engine's memory
+//! layout — one independent `MemorySystem` per shard — and drives the
+//! 16 systems from 1/2/4/8 threads, reporting self-relative wall-clock
+//! speedup (each shard's modeled cycle count is unchanged by threading).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gp_bench::print_table;
 use gp_mem::{DramConfig, MemRequest, MemorySystem, TrafficClass};
 use gp_sim::Cycle;
 
@@ -32,34 +35,94 @@ fn drive(mem: &mut MemorySystem, addrs: &[u64]) -> u64 {
     now.get()
 }
 
-fn bench_dram(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memory_model");
-    group.sample_size(20);
+fn modeled_bandwidth() {
+    println!("\n== memory_model: modeled DRAM bandwidth ==\n");
     let n = 4_096u64;
     let sequential: Vec<u64> = (0..n).map(|i| i * 64).collect();
-    let random: Vec<u64> = (0..n).map(|i| (i.wrapping_mul(2654435761) % n) * 8192).collect();
-    for (name, addrs) in [("sequential", sequential), ("random", random)] {
-        group.throughput(Throughput::Bytes(addrs.len() as u64 * 64));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &addrs, |b, a| {
-            b.iter_custom(|iters| {
-                let mut simulated = Duration::ZERO;
-                for _ in 0..iters {
-                    let mut mem = MemorySystem::new(DramConfig::paper());
-                    let cycles = drive(&mut mem, a);
-                    simulated += Duration::from_nanos(cycles); // 1 GHz clock
-                }
-                simulated
-            });
-        });
+    let random: Vec<u64> = (0..n)
+        .map(|i| (i.wrapping_mul(2654435761) % n) * 8192)
+        .collect();
+    let mut rows = Vec::new();
+    for (name, addrs) in [("sequential", &sequential), ("random", &random)] {
+        let mut mem = MemorySystem::new(DramConfig::paper());
+        let cycles = drive(&mut mem, addrs);
+        let bytes = addrs.len() as u64 * 64;
+        // 1 GHz: modeled cycles are nanoseconds, so B/ns reads as GB/s.
+        let gbps = bytes as f64 / cycles as f64;
+        println!("{name:<12} {cycles:>8} cycles  {gbps:>6.1} GB/s modeled");
+        rows.push(vec![
+            name.to_string(),
+            cycles.to_string(),
+            format!("{gbps:.1}"),
+        ]);
     }
-    group.finish();
+    print_table(
+        "memory_model modeled bandwidth",
+        &["stream", "cycles", "GB/s"],
+        &rows,
+    );
 }
 
-criterion_group!{
-    name = benches;
-    // Simulated (deterministic) timings have zero variance, which the
-    // plotting backend cannot render — disable plots.
-    config = Criterion::default().without_plots();
-    targets = bench_dram
+fn parallel_drive() {
+    println!("\n== memory_model: per-shard memory systems, threaded drive ==\n");
+    const SHARDS: usize = 16;
+    let n = 16_384u64;
+    let streams: Vec<Vec<u64>> = (0..SHARDS as u64)
+        .map(|s| {
+            (0..n)
+                .map(|i| ((i.wrapping_mul(2654435761).wrapping_add(s * 97)) % n) * 4096)
+                .collect()
+        })
+        .collect();
+
+    let run = |threads: usize| -> (f64, u64) {
+        let mut systems: Vec<MemorySystem> = (0..SHARDS)
+            .map(|_| MemorySystem::new(DramConfig::paper()))
+            .collect();
+        let t0 = std::time::Instant::now();
+        let chunk = SHARDS.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (mems, addrs) in systems.chunks_mut(chunk).zip(streams.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (mem, a) in mems.iter_mut().zip(addrs) {
+                        drive(mem, a);
+                    }
+                });
+            }
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let accesses: u64 = systems.iter().map(|m| m.stats().total_accesses()).sum();
+        (secs, accesses)
+    };
+
+    // Warmup.
+    let _ = run(1);
+    let mut base = 0.0f64;
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let (secs, accesses) = run(threads);
+        if threads == 1 {
+            base = secs;
+        }
+        println!(
+            "threads={threads:<2} {:>9.1} ms  speedup {:>5.2}x  ({accesses} modeled accesses)",
+            secs * 1e3,
+            base / secs
+        );
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.1}", secs * 1e3),
+            format!("{:.2}", base / secs),
+        ]);
+    }
+    print_table(
+        "memory_model threaded drive (16 shard memory systems)",
+        &["threads", "ms", "speedup"],
+        &rows,
+    );
 }
-criterion_main!(benches);
+
+fn main() {
+    modeled_bandwidth();
+    parallel_drive();
+}

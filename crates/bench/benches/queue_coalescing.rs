@@ -1,39 +1,30 @@
-//! Criterion bench behind Figs. 4/8: throughput of the coalescing path
-//! measured end-to-end as PageRank-Delta runs dominated by queue traffic
-//! on power-law vs uniform graphs.
+//! Bench behind Figs. 4/8: throughput of the coalescing path measured
+//! end-to-end as PageRank-Delta runs dominated by queue traffic on
+//! power-law vs uniform graphs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gp_algorithms::PageRankDelta;
+use gp_bench::microbench;
 use gp_graph::generators::{erdos_renyi, rmat, RmatConfig, WeightMode};
 use graphpulse_core::{AcceleratorConfig, GraphPulse};
 
-fn bench_coalescing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("queue_coalescing");
-    group.sample_size(10);
+fn main() {
+    println!("## queue_coalescing");
     let cases = [
         ("rmat", rmat(&RmatConfig::graph500(1 << 10, 8 << 10), 1)),
-        ("uniform", erdos_renyi(1 << 10, 8 << 10, WeightMode::Unweighted, 1)),
+        (
+            "uniform",
+            erdos_renyi(1 << 10, 8 << 10, WeightMode::Unweighted, 1),
+        ),
     ];
     for (name, graph) in &cases {
-        group.throughput(Throughput::Elements(graph.num_edges() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(name), graph, |b, g| {
-            let accel = GraphPulse::new(AcceleratorConfig::small_test());
-            let algo = PageRankDelta::new(0.85, 1e-4);
-            b.iter(|| {
-                let out = accel.run(g, &algo).expect("run");
-                assert!(out.report.events_coalesced > 0);
-                out.report.events_generated
-            });
+        let accel = GraphPulse::new(AcceleratorConfig::small_test());
+        let algo = PageRankDelta::new(0.85, 1e-4);
+        let secs = microbench::report(&format!("queue_coalescing/{name}"), 10, || {
+            let out = accel.run(graph, &algo).expect("run");
+            assert!(out.report.events_coalesced > 0);
+            out.report.events_generated
         });
+        let eps = graph.num_edges() as f64 / secs;
+        println!("    {:.1} Medges/s traversed", eps / 1e6);
     }
-    group.finish();
 }
-
-criterion_group!{
-    name = benches;
-    // Simulated (deterministic) timings have zero variance, which the
-    // plotting backend cannot render — disable plots.
-    config = Criterion::default().without_plots();
-    targets = bench_coalescing
-}
-criterion_main!(benches);

@@ -8,29 +8,29 @@
 //! cargo run -p gp-bench --release --bin ablations -- --scale 512
 //! ```
 
-use gp_bench::{gp_config, prepare, print_table, run_graphpulse, App, HarnessConfig};
+use gp_bench::{gp_config, prepare, print_table, App, HarnessConfig};
 use gp_graph::workloads::Workload;
 use graphpulse_core::{AcceleratorConfig, QueueConfig, SchedulingPolicy};
 
 fn main() {
-    let cfg = HarnessConfig::from_args(std::env::args().skip(1));
+    let harness = HarnessConfig::from_args(std::env::args().skip(1));
     let workload = Workload::LiveJournal;
-    let prepared = prepare(workload, App::PageRank, cfg.scale, cfg.seed);
+    let prepared = prepare(workload, App::PageRank, harness.scale, harness.seed);
     println!(
         "Ablations — PageRank-Delta on {} (1/{} scale): {} vertices, {} edges",
         workload.abbrev(),
-        cfg.scale,
+        harness.scale,
         prepared.graph.num_vertices(),
         prepared.graph.num_edges()
     );
 
     let base = gp_config(workload, &prepared.graph, true);
-    let reference = run_graphpulse(App::PageRank, &prepared, &base);
+    let reference = harness.run_accelerator(App::PageRank, &prepared, &base);
     let ref_cycles = reference.report.cycles as f64;
 
     let mut rows = Vec::new();
     let mut run = |label: String, cfg: AcceleratorConfig| {
-        let out = run_graphpulse(App::PageRank, &prepared, &cfg);
+        let out = harness.run_accelerator(App::PageRank, &prepared, &cfg);
         let r = &out.report;
         rows.push(vec![
             label,
@@ -102,7 +102,14 @@ fn main() {
 
     print_table(
         "Single-change ablations (cycles relative to the paper configuration)",
-        &["configuration", "cycles", "rel", "offchip acc", "util", "coalesced"],
+        &[
+            "configuration",
+            "cycles",
+            "rel",
+            "offchip acc",
+            "util",
+            "coalesced",
+        ],
         &rows,
     );
 }

@@ -4,7 +4,7 @@
 //! The paper's headline observation: "over 90% of the events are eliminated
 //! via coalescing multiple events destined to the same vertex."
 
-use gp_bench::{gp_config, prepare, print_table, run_graphpulse, App, HarnessConfig};
+use gp_bench::{gp_config, prepare, print_table, App, HarnessConfig};
 use gp_graph::workloads::Workload;
 
 fn main() {
@@ -23,7 +23,7 @@ fn main() {
         prepared.graph.num_edges()
     );
     let accel_cfg = gp_config(workload, &prepared.graph, true);
-    let outcome = run_graphpulse(App::PageRank, &prepared, &accel_cfg);
+    let outcome = cfg.run_accelerator(App::PageRank, &prepared, &accel_cfg);
     let report = &outcome.report;
 
     let rows: Vec<Vec<String>> = report
@@ -37,7 +37,10 @@ fn main() {
                 if r.produced == 0 {
                     "-".into()
                 } else {
-                    format!("{:.1}%", 100.0 * (1.0 - r.remaining as f64 / r.produced.max(1) as f64))
+                    format!(
+                        "{:.1}%",
+                        100.0 * (1.0 - r.remaining as f64 / r.produced.max(1) as f64)
+                    )
                 },
             ]
         })
@@ -54,7 +57,5 @@ fn main() {
         report.events_coalesced,
         100.0 * report.coalesce_rate()
     );
-    println!(
-        "paper reference: >90% of events eliminated by coalescing (PR on LiveJournal)."
-    );
+    println!("paper reference: >90% of events eliminated by coalescing (PR on LiveJournal).");
 }

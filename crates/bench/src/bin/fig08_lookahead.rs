@@ -4,7 +4,7 @@
 //! Lookahead = the spread of virtual-iteration depths compounded into one
 //! coalesced event; the paper buckets it as 0, <100, <200, <300, <400, >400.
 
-use gp_bench::{gp_config, prepare, print_table, run_graphpulse, App, HarnessConfig};
+use gp_bench::{gp_config, prepare, print_table, App, HarnessConfig};
 use gp_graph::workloads::Workload;
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
     );
     let prepared = prepare(workload, App::PageRank, cfg.scale, cfg.seed);
     let accel_cfg = gp_config(workload, &prepared.graph, true);
-    let outcome = run_graphpulse(App::PageRank, &prepared, &accel_cfg);
+    let outcome = cfg.run_accelerator(App::PageRank, &prepared, &accel_cfg);
 
     let rows: Vec<Vec<String>> = outcome
         .report

@@ -9,10 +9,7 @@
 //! GraphPulse-opt > GraphPulse-base > software.
 
 use gp_baselines::graphicionado::GraphicionadoConfig;
-use gp_bench::{
-    gp_config, prepare, print_table, run_graphicionado, run_graphpulse, run_ligra,
-    HarnessConfig,
-};
+use gp_bench::{gp_config, prepare, print_table, run_graphicionado, run_ligra, HarnessConfig};
 
 fn main() {
     let cfg = HarnessConfig::from_args(std::env::args().skip(1));
@@ -29,9 +26,16 @@ fn main() {
             let sw = run_ligra(*app, &prepared, &cfg.ligra());
             let sw_secs = sw.elapsed.as_secs_f64().max(1e-9);
 
-            let opt = run_graphpulse(*app, &prepared, &gp_config(*workload, &prepared.graph, true));
-            let base =
-                run_graphpulse(*app, &prepared, &gp_config(*workload, &prepared.graph, false));
+            let opt = cfg.run_accelerator(
+                *app,
+                &prepared,
+                &gp_config(*workload, &prepared.graph, true),
+            );
+            let base = cfg.run_accelerator(
+                *app,
+                &prepared,
+                &gp_config(*workload, &prepared.graph, false),
+            );
             let hw = run_graphicionado(*app, &prepared, &GraphicionadoConfig::default());
 
             // Sanity: all backends agree on the answer.
@@ -58,7 +62,15 @@ fn main() {
     }
     print_table(
         "Speedup over software framework",
-        &["app", "graph", "sw time", "GP time", "GP+opt", "GP-base", "Graphicionado"],
+        &[
+            "app",
+            "graph",
+            "sw time",
+            "GP time",
+            "GP+opt",
+            "GP-base",
+            "Graphicionado",
+        ],
         &rows,
     );
     if runs > 0 {

@@ -2,9 +2,7 @@
 //! Graphicionado (lower is better; the paper reports 54% less on average).
 
 use gp_baselines::graphicionado::GraphicionadoConfig;
-use gp_bench::{
-    gp_config, prepare, print_table, run_graphicionado, run_graphpulse, HarnessConfig,
-};
+use gp_bench::{gp_config, prepare, print_table, run_graphicionado, HarnessConfig};
 
 fn main() {
     let cfg = HarnessConfig::from_args(std::env::args().skip(1));
@@ -18,7 +16,11 @@ fn main() {
     for app in &cfg.apps {
         for workload in &cfg.workloads {
             let prepared = prepare(*workload, *app, cfg.scale, cfg.seed);
-            let gp = run_graphpulse(*app, &prepared, &gp_config(*workload, &prepared.graph, true));
+            let gp = cfg.run_accelerator(
+                *app,
+                &prepared,
+                &gp_config(*workload, &prepared.graph, true),
+            );
             let hw = run_graphicionado(*app, &prepared, &GraphicionadoConfig::default());
             let gp_acc = gp.report.memory.total_accesses();
             let hw_acc = hw.memory.total_accesses().max(1);

@@ -2,9 +2,7 @@
 //! computation (GraphPulse; the paper shows large fractions across apps).
 
 use gp_baselines::graphicionado::GraphicionadoConfig;
-use gp_bench::{
-    gp_config, prepare, print_table, run_graphicionado, run_graphpulse, HarnessConfig,
-};
+use gp_bench::{gp_config, prepare, print_table, run_graphicionado, HarnessConfig};
 use gp_mem::TrafficClass;
 
 fn main() {
@@ -17,7 +15,11 @@ fn main() {
     for app in &cfg.apps {
         for workload in &cfg.workloads {
             let prepared = prepare(*workload, *app, cfg.scale, cfg.seed);
-            let gp = run_graphpulse(*app, &prepared, &gp_config(*workload, &prepared.graph, true));
+            let gp = cfg.run_accelerator(
+                *app,
+                &prepared,
+                &gp_config(*workload, &prepared.graph, true),
+            );
             let hw = run_graphicionado(*app, &prepared, &GraphicionadoConfig::default());
             let m = &gp.report.memory;
             let class_util = |c: TrafficClass| -> String {
@@ -40,7 +42,14 @@ fn main() {
     }
     print_table(
         "Utilized fraction of off-chip transfers",
-        &["app", "graph", "GP total", "GP vertex", "GP edge", "Graphicionado"],
+        &[
+            "app",
+            "graph",
+            "GP total",
+            "GP vertex",
+            "GP edge",
+            "Graphicionado",
+        ],
         &rows,
     );
     println!(

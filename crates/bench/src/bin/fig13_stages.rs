@@ -2,16 +2,23 @@
 //! chronological bottom-to-top: Vtx Mem, Process, Gen-Buffer, Edge Mem,
 //! Generate.
 
-use gp_bench::{gp_config, prepare, print_table, run_graphpulse, HarnessConfig};
+use gp_bench::{gp_config, prepare, print_table, HarnessConfig};
 
 fn main() {
     let cfg = HarnessConfig::from_args(std::env::args().skip(1));
-    println!("Fig. 13 — per-event stage latencies in cycles (scale 1/{})", cfg.scale);
+    println!(
+        "Fig. 13 — per-event stage latencies in cycles (scale 1/{})",
+        cfg.scale
+    );
     let mut rows = Vec::new();
     for app in &cfg.apps {
         for workload in &cfg.workloads {
             let prepared = prepare(*workload, *app, cfg.scale, cfg.seed);
-            let out = run_graphpulse(*app, &prepared, &gp_config(*workload, &prepared.graph, true));
+            let out = cfg.run_accelerator(
+                *app,
+                &prepared,
+                &gp_config(*workload, &prepared.graph, true),
+            );
             let s = &out.report.stages;
             rows.push(vec![
                 app.label().to_string(),
@@ -26,7 +33,15 @@ fn main() {
     }
     print_table(
         "Mean cycles per stage",
-        &["app", "graph", "Vtx Mem", "Process", "Gen-Buffer", "Edge Mem", "Generate"],
+        &[
+            "app",
+            "graph",
+            "Vtx Mem",
+            "Process",
+            "Gen-Buffer",
+            "Edge Mem",
+            "Generate",
+        ],
         &rows,
     );
     println!(

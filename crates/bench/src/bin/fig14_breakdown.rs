@@ -4,7 +4,7 @@
 //! Paper reference points: generation units spend close to 80% of cycles
 //! reading edge memory; processors stall ~70% waiting for generators.
 
-use gp_bench::{gp_config, prepare, print_table, run_graphpulse, HarnessConfig};
+use gp_bench::{gp_config, prepare, print_table, HarnessConfig};
 
 fn main() {
     let cfg = HarnessConfig::from_args(std::env::args().skip(1));
@@ -13,9 +13,16 @@ fn main() {
     for app in &cfg.apps {
         for workload in &cfg.workloads {
             let prepared = prepare(*workload, *app, cfg.scale, cfg.seed);
-            let out = run_graphpulse(*app, &prepared, &gp_config(*workload, &prepared.graph, true));
+            let out = cfg.run_accelerator(
+                *app,
+                &prepared,
+                &gp_config(*workload, &prepared.graph, true),
+            );
             let fmt = |fracs: &[(&'static str, u64, f64)]| -> Vec<String> {
-                fracs.iter().map(|(_, _, f)| format!("{:.0}%", f * 100.0)).collect()
+                fracs
+                    .iter()
+                    .map(|(_, _, f)| format!("{:.0}%", f * 100.0))
+                    .collect()
             };
             let proc = fmt(&out.report.proc_timeline.fractions());
             let gen = fmt(&out.report.gen_timeline.fractions());

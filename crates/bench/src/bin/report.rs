@@ -7,16 +7,16 @@
 //! ```
 
 use gp_baselines::graphicionado::GraphicionadoConfig;
-use gp_bench::{
-    gp_config, prepare, print_table, run_graphicionado, run_graphpulse, run_ligra,
-    HarnessConfig,
-};
+use gp_bench::{gp_config, prepare, print_table, run_graphicionado, run_ligra, HarnessConfig};
 use gp_graph::stats::GraphStats;
 use graphpulse_core::AcceleratorConfig;
 
 fn main() {
     let cfg = HarnessConfig::from_args(std::env::args().skip(1));
-    println!("# GraphPulse evaluation report (scale 1/{}, seed {})", cfg.scale, cfg.seed);
+    println!(
+        "# GraphPulse evaluation report (scale 1/{}, seed {})",
+        cfg.scale, cfg.seed
+    );
 
     table_iii();
     table_iv(&cfg);
@@ -52,8 +52,14 @@ fn table_iii() {
             ],
             vec![
                 "off-chip".into(),
-                format!("{}x DDR3 {} B/cyc", opt.dram.channels, opt.dram.bytes_per_cycle),
-                format!("{}x DDR3 {} B/cyc", base.dram.channels, base.dram.bytes_per_cycle),
+                format!(
+                    "{}x DDR3 {} B/cyc",
+                    opt.dram.channels, opt.dram.bytes_per_cycle
+                ),
+                format!(
+                    "{}x DDR3 {} B/cyc",
+                    base.dram.channels, base.dram.bytes_per_cycle
+                ),
             ],
         ],
     );
@@ -80,7 +86,16 @@ fn table_iv(cfg: &HarnessConfig) {
         .collect();
     print_table(
         "Table IV — workloads (published size vs. synthesized at this scale)",
-        &["graph", "description", "pub V", "pub E", "syn V", "syn E", "avg deg", "skew"],
+        &[
+            "graph",
+            "description",
+            "pub V",
+            "pub E",
+            "syn V",
+            "syn E",
+            "avg deg",
+            "skew",
+        ],
         &rows,
     );
 }
@@ -96,9 +111,16 @@ fn figures(cfg: &HarnessConfig) {
             eprintln!("[report] running {}/{} ...", app.label(), workload.abbrev());
             let prepared = prepare(*workload, *app, cfg.scale, cfg.seed);
             let sw = run_ligra(*app, &prepared, &cfg.ligra());
-            let opt = run_graphpulse(*app, &prepared, &gp_config(*workload, &prepared.graph, true));
-            let base =
-                run_graphpulse(*app, &prepared, &gp_config(*workload, &prepared.graph, false));
+            let opt = cfg.run_accelerator(
+                *app,
+                &prepared,
+                &gp_config(*workload, &prepared.graph, true),
+            );
+            let base = cfg.run_accelerator(
+                *app,
+                &prepared,
+                &gp_config(*workload, &prepared.graph, false),
+            );
             let hw = run_graphicionado(*app, &prepared, &GraphicionadoConfig::default());
             assert!(
                 gp_algorithms::max_abs_diff(&opt.values, &sw.values) < 1e-2,
@@ -137,12 +159,26 @@ fn figures(cfg: &HarnessConfig) {
     }
     print_table(
         "Fig. 10 — speedup over the software framework",
-        &["app", "graph", "GP+opt", "GP-base", "Graphicionado", "GP/Graphicionado"],
+        &[
+            "app",
+            "graph",
+            "GP+opt",
+            "GP-base",
+            "Graphicionado",
+            "GP/Graphicionado",
+        ],
         &speedup_rows,
     );
     print_table(
         "Figs. 11/12/4 — off-chip accesses (normalized to Graphicionado), utilization, coalescing",
-        &["app", "graph", "accesses norm", "GP util", "Gr util", "coalesced"],
+        &[
+            "app",
+            "graph",
+            "accesses norm",
+            "GP util",
+            "Gr util",
+            "coalesced",
+        ],
         &offchip_rows,
     );
     if runs > 0 {

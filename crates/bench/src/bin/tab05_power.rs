@@ -2,7 +2,7 @@
 //! energy-efficiency comparison against the software framework (the paper
 //! reports 280× better energy efficiency than Ligra on a 12-core Xeon).
 
-use gp_bench::{gp_config, prepare, run_graphpulse, run_ligra, print_table, App, HarnessConfig};
+use gp_bench::{gp_config, prepare, print_table, run_ligra, App, HarnessConfig};
 use gp_graph::workloads::Workload;
 
 /// TDP assumed for the software platform (12-core Xeon, Table III class).
@@ -17,7 +17,11 @@ fn main() {
         cfg.scale
     );
     let prepared = prepare(workload, App::PageRank, cfg.scale, cfg.seed);
-    let out = run_graphpulse(App::PageRank, &prepared, &gp_config(workload, &prepared.graph, true));
+    let out = cfg.run_accelerator(
+        App::PageRank,
+        &prepared,
+        &gp_config(workload, &prepared.graph, true),
+    );
     let e = &out.report.energy;
 
     let rows: Vec<Vec<String>> = e
@@ -36,7 +40,14 @@ fn main() {
         .collect();
     print_table(
         "Power and area of the accelerator components",
-        &["component", "#", "static mW", "dynamic mW", "total mW", "area mm²"],
+        &[
+            "component",
+            "#",
+            "static mW",
+            "dynamic mW",
+            "total mW",
+            "area mm²",
+        ],
         &rows,
     );
     println!(

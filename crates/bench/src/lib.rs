@@ -4,32 +4,36 @@
 //! (§VI). Each figure has a dedicated binary (`fig04_coalescing`,
 //! `fig08_lookahead`, `fig10_speedup`, `fig11_offchip`,
 //! `fig12_utilization`, `fig13_stages`, `fig14_breakdown`, `tab05_power`)
-//! plus a `report` binary that runs the full suite; `criterion` benches in
-//! `benches/` cover the hot paths behind each figure.
+//! plus a `report` binary that runs the full suite; the wall-clock benches
+//! in `benches/` (see [`microbench`]) cover the hot paths behind each
+//! figure and the shard-parallel worker sweep.
 //!
 //! All binaries accept:
 //!
 //! ```text
-//! --scale N       scale denominator vs. the published dataset sizes (default 256)
-//! --seed S        RNG seed (default 42)
-//! --workloads W   comma list of WG,FB,WK,LJ,TW (default all)
-//! --apps A        comma list of pr,ads,sssp,bfs,cc (default all)
-//! --threads T     software-baseline threads (default: all cores)
+//! --scale N        scale denominator vs. the published dataset sizes (default 256)
+//! --seed S         RNG seed (default 42)
+//! --workloads W    comma list of WG,FB,WK,LJ,TW (default all)
+//! --apps A         comma list of pr,ads,sssp,bfs,cc (default all)
+//! --threads T      software-baseline threads (default: all cores)
+//! --workers W      run the accelerator with the shard-parallel engine on W
+//!                  worker threads (omit for the classic sequential engine;
+//!                  results are bit-identical for every W)
+//! --epoch-cycles E cycles between parallel-engine exchange barriers
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use gp_algorithms::{
-    normalize_inbound, Adsorption, AdsorptionParams, Bfs, ConnectedComponents, PageRankDelta,
-    Sssp,
+    normalize_inbound, Adsorption, AdsorptionParams, Bfs, ConnectedComponents, PageRankDelta, Sssp,
 };
 use gp_baselines::graphicionado::{self, GraphicionadoConfig};
 use gp_baselines::ligra::{apps as ligra_apps, LigraConfig, LigraOutput};
 use gp_graph::generators::WeightMode;
 use gp_graph::workloads::Workload;
 use gp_graph::{CsrGraph, VertexId};
-use graphpulse_core::{AcceleratorConfig, GraphPulse, Outcome, QueueConfig};
+use graphpulse_core::{AcceleratorConfig, GraphPulse, Outcome, ParallelOutcome, QueueConfig};
 
 /// The five applications of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +91,12 @@ pub struct HarnessConfig {
     pub apps: Vec<App>,
     /// Software-baseline threads.
     pub threads: usize,
+    /// Accelerator worker threads: `Some(w)` routes every accelerator run
+    /// through the shard-parallel engine on `w` workers; `None` keeps the
+    /// classic sequential engine.
+    pub workers: Option<usize>,
+    /// Override for the parallel engine's epoch length in cycles.
+    pub epoch_cycles: Option<u64>,
 }
 
 impl Default for HarnessConfig {
@@ -97,6 +107,8 @@ impl Default for HarnessConfig {
             workloads: Workload::TABLE_IV.to_vec(),
             apps: App::ALL.to_vec(),
             threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+            workers: None,
+            epoch_cycles: None,
         }
     }
 }
@@ -116,6 +128,13 @@ impl HarnessConfig {
                 "--scale" => cfg.scale = value().parse().expect("--scale takes an integer"),
                 "--seed" => cfg.seed = value().parse().expect("--seed takes an integer"),
                 "--threads" => cfg.threads = value().parse().expect("--threads takes an integer"),
+                "--workers" => {
+                    cfg.workers = Some(value().parse().expect("--workers takes an integer"));
+                }
+                "--epoch-cycles" => {
+                    cfg.epoch_cycles =
+                        Some(value().parse().expect("--epoch-cycles takes an integer"));
+                }
                 "--workloads" => {
                     cfg.workloads = value()
                         .split(',')
@@ -148,6 +167,33 @@ impl HarnessConfig {
             ..LigraConfig::default()
         }
     }
+
+    /// Runs one app on the accelerator, honoring `--workers`: without the
+    /// flag this is [`run_graphpulse`] (the sequential engine); with it the
+    /// run goes through the shard-parallel engine, whose results are
+    /// bit-identical for every worker count.
+    pub fn run_accelerator(
+        &self,
+        app: App,
+        prepared: &Prepared,
+        base: &AcceleratorConfig,
+    ) -> Outcome {
+        match self.workers {
+            None => run_graphpulse(app, prepared, base),
+            Some(w) => {
+                let mut cfg = base.clone();
+                cfg.parallel.workers = w.max(1);
+                if let Some(e) = self.epoch_cycles {
+                    cfg.parallel.epoch_cycles = e;
+                }
+                let out = run_graphpulse_parallel(app, prepared, &cfg);
+                Outcome {
+                    values: out.values,
+                    report: out.report,
+                }
+            }
+        }
+    }
 }
 
 /// A workload instantiated for one app: the right graph variant plus
@@ -170,7 +216,11 @@ pub struct Prepared {
 /// it remains by far the largest graph and still exercises the 3-slice
 /// execution path (see `gp_config`).
 pub fn prepare(workload: Workload, app: App, scale: usize, seed: u64) -> Prepared {
-    let scale = if workload == Workload::Twitter { scale * 4 } else { scale };
+    let scale = if workload == Workload::Twitter {
+        scale * 4
+    } else {
+        scale
+    };
     let (graph, params) = match app {
         App::Sssp => (
             workload.synthesize_weighted(scale, WeightMode::Uniform(1.0, 10.0), seed),
@@ -179,7 +229,10 @@ pub fn prepare(workload: Workload, app: App, scale: usize, seed: u64) -> Prepare
         App::Adsorption => {
             let raw = workload.synthesize_weighted(scale, WeightMode::Uniform(0.5, 2.0), seed);
             let graph = normalize_inbound(&raw);
-            let params = Some(AdsorptionParams::random(graph.num_vertices(), seed ^ 0xAD50));
+            let params = Some(AdsorptionParams::random(
+                graph.num_vertices(),
+                seed ^ 0xAD50,
+            ));
             (graph, params)
         }
         _ => (workload.synthesize(scale, seed), None),
@@ -188,7 +241,11 @@ pub fn prepare(workload: Workload, app: App, scale: usize, seed: u64) -> Prepare
         .vertices()
         .max_by_key(|v| graph.out_degree(*v))
         .unwrap_or(VertexId::new(0));
-    Prepared { graph, params, root }
+    Prepared {
+        graph,
+        params,
+        root,
+    }
 }
 
 /// The PageRank threshold used throughout the harness.
@@ -233,6 +290,32 @@ pub fn run_graphpulse(app: App, prepared: &Prepared, cfg: &AcceleratorConfig) ->
         App::Sssp => accel.run(g, &Sssp::new(prepared.root)),
         App::Bfs => accel.run(g, &Bfs::new(prepared.root)),
         App::Cc => accel.run(g, &ConnectedComponents::new()),
+    }
+    .expect("accelerator run failed")
+}
+
+/// Runs one app on the shard-parallel accelerator engine (workers and
+/// epoch length come from `cfg.parallel`).
+///
+/// # Panics
+///
+/// Panics if the simulation errors (configuration is validated upstream).
+pub fn run_graphpulse_parallel(
+    app: App,
+    prepared: &Prepared,
+    cfg: &AcceleratorConfig,
+) -> ParallelOutcome {
+    let accel = GraphPulse::new(cfg.clone());
+    let g = &prepared.graph;
+    match app {
+        App::PageRank => accel.run_parallel(g, &PageRankDelta::new(0.85, PR_EPS)),
+        App::Adsorption => accel.run_parallel(
+            g,
+            &Adsorption::new(prepared.params.clone().expect("adsorption params"), ADS_EPS),
+        ),
+        App::Sssp => accel.run_parallel(g, &Sssp::new(prepared.root)),
+        App::Bfs => accel.run_parallel(g, &Bfs::new(prepared.root)),
+        App::Cc => accel.run_parallel(g, &ConnectedComponents::new()),
     }
     .expect("accelerator run failed")
 }
@@ -312,17 +395,59 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Minimal wall-clock micro-benchmark support for the `benches/` targets.
+///
+/// The workspace builds hermetically offline, so the benches are plain
+/// `harness = false` binaries driven by these helpers instead of an
+/// external benchmarking crate. Timings are wall-clock medians over a
+/// fixed iteration count — noisy relative to a statistics-driven harness,
+/// but all the figure benches compare *simulated* cycle counts or
+/// self-relative speedups, which are deterministic.
+pub mod microbench {
+    use std::time::Instant;
+
+    /// Runs `f` once as warmup, then `iters` more times; returns the
+    /// median wall-clock seconds of the timed runs.
+    pub fn median_secs<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+        let iters = iters.max(1);
+        std::hint::black_box(f());
+        let mut samples: Vec<f64> = (0..iters)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[samples.len() / 2]
+    }
+
+    /// Times `f` and prints `label: <median> ms (n=<iters>)`; returns the
+    /// median seconds so callers can derive throughput or speedup.
+    pub fn report<R>(label: &str, iters: usize, f: impl FnMut() -> R) -> f64 {
+        let secs = median_secs(iters, f);
+        println!("{label:<40} {:>10.3} ms  (n={iters})", secs * 1e3);
+        secs
+    }
+}
+
 fn write_csv(title: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
     use std::io::Write;
     let slug: String = title
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
         .collect::<String>()
         .split('-')
         .filter(|s| !s.is_empty())
         .collect::<Vec<_>>()
         .join("-");
-    let slug: String = slug.chars().take(60, ).collect();
+    let slug: String = slug.chars().take(60).collect();
     std::fs::create_dir_all("figures")?;
     let mut f = std::fs::File::create(format!("figures/{slug}.csv"))?;
     writeln!(f, "{}", header.join(","))?;
@@ -340,15 +465,26 @@ mod tests {
     fn args_parse_round_trip() {
         let cfg = HarnessConfig::from_args(
             [
-                "--scale", "128", "--seed", "7", "--workloads", "WG,LJ", "--apps", "pr,bfs",
-                "--threads", "2",
+                "--scale",
+                "128",
+                "--seed",
+                "7",
+                "--workloads",
+                "WG,LJ",
+                "--apps",
+                "pr,bfs",
+                "--threads",
+                "2",
             ]
             .iter()
             .map(|s| s.to_string()),
         );
         assert_eq!(cfg.scale, 128);
         assert_eq!(cfg.seed, 7);
-        assert_eq!(cfg.workloads, vec![Workload::WebGoogle, Workload::LiveJournal]);
+        assert_eq!(
+            cfg.workloads,
+            vec![Workload::WebGoogle, Workload::LiveJournal]
+        );
         assert_eq!(cfg.apps, vec![App::PageRank, App::Bfs]);
         assert_eq!(cfg.threads, 2);
     }
@@ -379,7 +515,11 @@ mod tests {
     fn all_backends_agree_on_a_small_run() {
         let p = prepare(Workload::WebGoogle, App::Bfs, 8192, 3);
         let mut cfg = gp_config(Workload::WebGoogle, &p.graph, true);
-        cfg.queue = QueueConfig { bins: 8, rows: 64, cols: 8 };
+        cfg.queue = QueueConfig {
+            bins: 8,
+            rows: 64,
+            cols: 8,
+        };
         let gp = run_graphpulse(App::Bfs, &p, &cfg);
         let sw = run_ligra(App::Bfs, &p, &LigraConfig::sequential());
         let hw = run_graphicionado(App::Bfs, &p, &GraphicionadoConfig::default());

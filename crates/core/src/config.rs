@@ -1,7 +1,6 @@
 //! Accelerator configuration (Table III and §V parameters).
 
 use gp_mem::{CacheConfig, DramConfig};
-use serde::{Deserialize, Serialize};
 
 /// Geometry of the in-place coalescing event queue (§IV-D).
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// consecutive vertices share a row (drained together, preserving spatial
 /// locality for the prefetcher) while consecutive rows spread across bins
 /// (spreading graph clusters over bins, §IV-D).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueConfig {
     /// Independent bins, each with its own insertion pipeline.
     pub bins: usize,
@@ -38,13 +37,63 @@ impl QueueConfig {
     }
 }
 
+/// Parameters of the shard-parallel execution engine
+/// ([`GraphPulse::run_parallel`](crate::GraphPulse::run_parallel)).
+///
+/// The graph is partitioned into *shards* (one resident slice each, with
+/// its own event queue and memory model); shards run independently for
+/// `epoch_cycles` simulated cycles and exchange cross-shard events at the
+/// epoch barrier in a deterministic merge order. The shard structure is
+/// derived from the configuration and graph only — **never** from
+/// `workers` — so any worker count produces bit-identical vertex values,
+/// cycle counts, and statistics; `workers` only controls how many OS
+/// threads step the shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads stepping the shards (affects wall-clock only).
+    pub workers: usize,
+    /// Simulated cycles per epoch between event-exchange barriers.
+    pub epoch_cycles: u64,
+    /// Shard-count override: `0` derives the count from the queue
+    /// capacity (one shard per slice), `k > 0` forces `k` contiguous
+    /// shards regardless of queue size.
+    pub shards: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            workers: 1,
+            epoch_cycles: 1024,
+            shards: 0,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Validates parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("need at least one worker thread".into());
+        }
+        if self.epoch_cycles == 0 {
+            return Err("epoch length must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
 /// Order in which the scheduler drains queue bins within a round.
 ///
 /// The paper drains round-robin but notes "other application-informed
 /// policies are possible" (§IV-C); `OccupancyFirst` is one such policy:
 /// visit the fullest bins first, which front-loads dense blocks and feeds
 /// the prefetcher longer sequential runs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum SchedulingPolicy {
     /// Fixed bin order 0..N every round (the paper's default).
     #[default]
@@ -60,7 +109,7 @@ pub enum SchedulingPolicy {
 /// prefetching), [`AcceleratorConfig::baseline`] ("GraphPulse-Baseline":
 /// 256 processors, demand memory access, single generation stream), and
 /// [`AcceleratorConfig::small_test`] (a tiny machine for fast unit tests).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcceleratorConfig {
     /// Accelerator clock in GHz (1.0 in Table III).
     pub clock_ghz: f64,
@@ -102,6 +151,9 @@ pub struct AcceleratorConfig {
     pub scheduling: SchedulingPolicy,
     /// Hard safety cap on simulated cycles.
     pub max_cycles: u64,
+    /// Shard-parallel runner parameters (ignored by [`GraphPulse::run`]
+    /// (crate::GraphPulse::run)).
+    pub parallel: ParallelConfig,
 }
 
 impl AcceleratorConfig {
@@ -130,6 +182,7 @@ impl AcceleratorConfig {
             dram: DramConfig::paper(),
             scheduling: SchedulingPolicy::RoundRobin,
             max_cycles: u64::MAX / 2,
+            parallel: ParallelConfig::default(),
         }
     }
 
@@ -195,6 +248,7 @@ impl AcceleratorConfig {
         if self.vertex_bytes == 0 || self.edge_bytes == 0 || self.event_bytes == 0 {
             return Err("record sizes must be nonzero".into());
         }
+        self.parallel.validate()?;
         self.dram.validate()
     }
 

@@ -8,11 +8,9 @@
 //! PageRank-on-LiveJournal activity levels land near Table V's dynamic
 //! numbers; they are documented constants, not measurements.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-access energies (nanojoules) and static power (milliwatts) for each
 /// accelerator component.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Static power of one queue bin (mW). Table V lists 116 mW static per
     /// bin × 64 bins ≈ the ~9 W the paper quotes for the queue memory.
@@ -69,7 +67,7 @@ impl Default for EnergyModel {
 }
 
 /// Activity counters fed into the model by the machine.
-#[derive(Debug, Default, Clone, Copy, Serialize)]
+#[derive(Debug, Default, Clone, Copy)]
 pub struct ActivityCounters {
     /// Queue slot reads (insert probes + drains).
     pub queue_reads: u64,
@@ -86,7 +84,7 @@ pub struct ActivityCounters {
 }
 
 /// Per-component power/area rows, Table V style.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EnergyReport {
     /// `(component, count, static mW, dynamic mW, total mW, area mm²)` rows.
     pub rows: Vec<ComponentPower>,
@@ -101,7 +99,7 @@ pub struct EnergyReport {
 }
 
 /// One row of the Table V style breakdown.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ComponentPower {
     /// Component name.
     pub component: &'static str,

@@ -81,8 +81,14 @@ mod tests {
 
     #[test]
     fn merge_is_commutative() {
-        let a = EventMeta { depth_min: 2, depth_max: 5 };
-        let b = EventMeta { depth_min: 4, depth_max: 9 };
+        let a = EventMeta {
+            depth_min: 2,
+            depth_max: 5,
+        };
+        let b = EventMeta {
+            depth_min: 4,
+            depth_max: 9,
+        };
         assert_eq!(a.merge(b), b.merge(a));
     }
 

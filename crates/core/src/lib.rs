@@ -47,11 +47,13 @@ mod generation;
 mod machine;
 mod metrics;
 mod network;
+pub mod parallel;
 mod processor;
 mod queue;
 
-pub use config::{AcceleratorConfig, QueueConfig, SchedulingPolicy};
+pub use config::{AcceleratorConfig, ParallelConfig, QueueConfig, SchedulingPolicy};
 pub use energy::{EnergyModel, EnergyReport};
 pub use event::{Event, EventMeta};
 pub use machine::{GraphPulse, Outcome, RunError};
 pub use metrics::{ExecutionReport, LookaheadBuckets, RoundMetrics, StageAverages};
+pub use parallel::ParallelOutcome;

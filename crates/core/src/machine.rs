@@ -8,12 +8,14 @@ use std::fmt;
 use gp_algorithms::DeltaAlgorithm;
 use gp_graph::partition::Partition;
 use gp_graph::{CsrGraph, VertexId};
-use gp_mem::{line_base, MemRequest, MemorySystem, TrafficClass, LINE_BYTES};
-use gp_sim::stats::StateTimeline;
+use gp_mem::{line_base, MemRequest, MemStats, MemorySystem, TrafficClass, LINE_BYTES};
+use gp_sim::stats::{ShardStats, StateTimeline};
 use gp_sim::Cycle;
 
 use crate::energy::{ActivityCounters, EnergyModel, EnergyReport};
-use crate::generation::{ActiveGen, GenTask, GenUnit, GT_EDGE_READ, GT_GENERATE, GT_IDLE, GT_STALL};
+use crate::generation::{
+    ActiveGen, GenTask, GenUnit, GT_EDGE_READ, GT_GENERATE, GT_IDLE, GT_STALL,
+};
 use crate::metrics::{ExecutionReport, RoundMetrics, StageAverages, GEN_STATES, PROC_STATES};
 use crate::network::{Crossbar, Flit, Route};
 use crate::processor::{
@@ -84,9 +86,7 @@ impl GraphPulse {
     /// [`RunError::CycleLimit`] if the simulation exceeds
     /// `config.max_cycles`.
     pub fn run<A: DeltaAlgorithm>(&self, graph: &CsrGraph, algo: &A) -> Result<Outcome, RunError> {
-        self.config
-            .validate()
-            .map_err(RunError::InvalidConfig)?;
+        self.config.validate().map_err(RunError::InvalidConfig)?;
         let mut machine = Machine::new(&self.config, graph, algo);
         machine.seed_initial_events();
         machine.run_to_completion()?;
@@ -103,6 +103,39 @@ enum MemTarget<D> {
     FillChunk { events: Vec<Event<D>> },
 }
 
+/// A cross-shard event awaiting exchange at the next epoch barrier, tagged
+/// for the deterministic `(cycle, source shard, sequence)` merge order.
+pub(crate) struct OutEvent<D> {
+    /// Cycle at which the generating shard emitted the event.
+    pub(crate) cycle: u64,
+    /// Emission sequence number within the generating shard (monotone).
+    pub(crate) seq: u64,
+    /// The event itself.
+    pub(crate) event: Event<D>,
+}
+
+/// Everything a shard contributes to the merged parallel report.
+pub(crate) struct ShardPartial<V> {
+    pub(crate) start: usize,
+    pub(crate) values: Vec<V>,
+    pub(crate) cycles: u64,
+    pub(crate) rounds: u64,
+    pub(crate) activations: u64,
+    pub(crate) events_processed: u64,
+    pub(crate) events_generated: u64,
+    pub(crate) events_coalesced: u64,
+    pub(crate) events_exchanged: u64,
+    pub(crate) ticks: u64,
+    pub(crate) rounds_log: Vec<RoundMetrics>,
+    pub(crate) stages: StageAverages,
+    pub(crate) proc_timeline: StateTimeline,
+    pub(crate) gen_timeline: StateTimeline,
+    pub(crate) memory: MemStats,
+    pub(crate) cache_hits: u64,
+    pub(crate) cache_misses: u64,
+    pub(crate) activity: ActivityCounters,
+}
+
 enum Phase<D> {
     /// Sweeping bins and dispatching rows to processors.
     Drain,
@@ -116,7 +149,7 @@ enum Phase<D> {
     Done,
 }
 
-struct Machine<'a, A: DeltaAlgorithm> {
+pub(crate) struct Machine<'a, A: DeltaAlgorithm> {
     cfg: &'a AcceleratorConfig,
     algo: &'a A,
     graph: &'a CsrGraph,
@@ -139,6 +172,20 @@ struct Machine<'a, A: DeltaAlgorithm> {
     spill: Vec<VecDeque<Event<A::Delta>>>,
     spill_pending_bytes: u64,
 
+    /// Shard mode: the active slice is permanently resident; events for
+    /// other slices go to `outbox` for the epoch-barrier exchange instead
+    /// of the off-chip spill path.
+    shard_mode: bool,
+    outbox: Vec<Vec<OutEvent<A::Delta>>>,
+    /// Per-destination map from target vertex to its outbox entry, so
+    /// cross-shard events coalesce at the sender exactly as the queue
+    /// would coalesce them at the receiver (the merge is commutative, so
+    /// the receiver's state is unchanged while the exchange volume drops
+    /// from O(events) to O(touched vertices) per epoch).
+    outbox_index: Vec<HashMap<u32, usize>>,
+    out_seq: u64,
+    stats_baseline: [u64; 5],
+
     phase: Phase<A::Delta>,
     /// Bin visit order for the current round (identity under round-robin).
     bin_order: Vec<usize>,
@@ -157,13 +204,43 @@ struct Machine<'a, A: DeltaAlgorithm> {
     events_generated: u64,
     events_coalesced: u64,
     events_spilled: u64,
+    /// Ticks actually executed (shard-mode diagnostics).
+    ticks: u64,
 }
 
 impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
     fn new(cfg: &'a AcceleratorConfig, graph: &'a CsrGraph, algo: &'a A) -> Self {
-        let n = graph.num_vertices();
         let partition = Partition::contiguous(graph, cfg.queue.capacity().max(1));
-        let edge_bytes = if graph.is_weighted() { cfg.edge_bytes * 2 } else { cfg.edge_bytes };
+        Self::with_partition(cfg, graph, algo, partition, 0, false)
+    }
+
+    /// Builds the shard-parallel variant: slice `shard` of `partition` is
+    /// permanently resident and cross-slice events are exchanged at epoch
+    /// barriers rather than spilled.
+    pub(crate) fn new_shard(
+        cfg: &'a AcceleratorConfig,
+        graph: &'a CsrGraph,
+        algo: &'a A,
+        partition: Partition,
+        shard: usize,
+    ) -> Self {
+        Self::with_partition(cfg, graph, algo, partition, shard, true)
+    }
+
+    fn with_partition(
+        cfg: &'a AcceleratorConfig,
+        graph: &'a CsrGraph,
+        algo: &'a A,
+        partition: Partition,
+        active_slice: usize,
+        shard_mode: bool,
+    ) -> Self {
+        let n = graph.num_vertices();
+        let edge_bytes = if graph.is_weighted() {
+            cfg.edge_bytes * 2
+        } else {
+            cfg.edge_bytes
+        };
         let vertex_base = 0u64;
         let edge_base = align_up(vertex_base + n as u64 * u64::from(cfg.vertex_bytes));
         let spill_base = align_up(edge_base + graph.num_edges() as u64 * u64::from(edge_bytes));
@@ -186,6 +263,12 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
             })
             .collect();
         let spill = vec![VecDeque::new(); partition.len().max(1)];
+        let outbox: Vec<Vec<OutEvent<A::Delta>>> = if shard_mode {
+            (0..partition.len()).map(|_| Vec::new()).collect()
+        } else {
+            Vec::new()
+        };
+        let outbox_index = (0..outbox.len()).map(|_| HashMap::new()).collect();
 
         Machine {
             cfg,
@@ -197,7 +280,7 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
             spill_base,
             spill_bump: 0,
             partition,
-            active_slice: 0,
+            active_slice,
             values: (0..n)
                 .map(|v| algo.init_value(VertexId::from_index(v)))
                 .collect(),
@@ -209,6 +292,11 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
             units,
             spill,
             spill_pending_bytes: 0,
+            shard_mode,
+            outbox,
+            outbox_index,
+            out_seq: 0,
+            stats_baseline: [0; 5],
             phase: Phase::Drain,
             bin_order: (0..cfg.queue.bins).collect(),
             current_bin: 0,
@@ -225,6 +313,7 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
             events_generated: 0,
             events_coalesced: 0,
             events_spilled: 0,
+            ticks: 0,
         }
     }
 
@@ -279,6 +368,24 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
         }
     }
 
+    /// Seeds the initial deltas of this shard's own slice (every shard
+    /// seeds exactly its resident vertices, so the union covers the graph).
+    pub(crate) fn seed_shard_events(&mut self) {
+        debug_assert!(self.shard_mode);
+        let slice = self.partition.slices()[self.active_slice];
+        for vi in slice.start.get()..slice.end.get() {
+            let v = VertexId::new(vi);
+            let Some(delta) = self.algo.initial_delta(v, self.graph) else {
+                continue;
+            };
+            self.events_generated += 1;
+            self.install_resident(Event::new(v, delta, 0));
+        }
+        if self.total_occupancy() == 0 {
+            self.phase = Phase::Quiesce;
+        }
+    }
+
     /// Functionally installs an event into the resident queue (host load or
     /// swap-in path; uses the bins' parallel insertion units).
     fn install_resident(&mut self, ev: Event<A::Delta>) {
@@ -322,6 +429,132 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
             self.tick();
         }
         Ok(())
+    }
+
+    // ---- shard-mode lifecycle (epoch-barrier parallel engine) ----
+
+    /// Advances the shard until it parks (runs dry) or reaches the epoch
+    /// boundary at `epoch_end`.
+    pub(crate) fn run_epoch(&mut self, epoch_end: Cycle) -> Result<(), RunError> {
+        debug_assert!(self.shard_mode);
+        while !matches!(self.phase, Phase::Done) && self.now.get() < epoch_end.get() {
+            if self.now.get() >= self.cfg.max_cycles {
+                return Err(RunError::CycleLimit(self.cfg.max_cycles));
+            }
+            self.tick();
+            self.ticks += 1;
+        }
+        Ok(())
+    }
+
+    /// One-line load summary for the `GP_PARALLEL_TRACE` diagnostics.
+    pub(crate) fn trace_summary(&self) -> String {
+        format!(
+            "ticks {} processed {} generated {} now {}",
+            self.ticks,
+            self.events_processed,
+            self.events_generated,
+            self.now.get()
+        )
+    }
+
+    /// Whether the shard has run dry (no resident events, all units idle).
+    pub(crate) fn parked(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+
+    /// Delivers the epoch-barrier inbox (already merged in deterministic
+    /// order by the driver) at barrier time `at`, reviving the shard if it
+    /// was parked.
+    pub(crate) fn deliver(&mut self, at: Cycle, events: impl IntoIterator<Item = Event<A::Delta>>) {
+        debug_assert!(self.shard_mode);
+        if self.parked() {
+            self.now = at;
+            self.slice_activations += 1;
+            for bin in &mut self.bins {
+                bin.reset_sweep();
+            }
+            self.refresh_bin_order();
+            self.current_bin = 0;
+            self.phase = Phase::Drain;
+        }
+        for ev in events {
+            self.install_resident(ev);
+        }
+    }
+
+    /// Takes the per-destination outboxes accumulated this epoch.
+    pub(crate) fn take_outboxes(&mut self) -> Vec<Vec<OutEvent<A::Delta>>> {
+        for index in &mut self.outbox_index {
+            index.clear();
+        }
+        let empty = (0..self.outbox.len()).map(|_| Vec::new()).collect();
+        std::mem::replace(&mut self.outbox, empty)
+    }
+
+    /// Counter deltas since the previous barrier, as a worker-local bundle
+    /// for the thread-safe registry merge.
+    pub(crate) fn drain_epoch_stats(&mut self) -> ShardStats {
+        let totals = [
+            self.events_processed,
+            self.events_generated,
+            self.events_coalesced,
+            self.events_spilled,
+            self.round,
+        ];
+        let mut s = ShardStats::new();
+        const KEYS: [&str; 5] = [
+            "events_processed",
+            "events_generated",
+            "events_coalesced",
+            "events_exchanged",
+            "rounds",
+        ];
+        for (i, key) in KEYS.into_iter().enumerate() {
+            s.add(key, totals[i] - self.stats_baseline[i]);
+        }
+        self.stats_baseline = totals;
+        s
+    }
+
+    /// Tears the shard down into its contribution to the merged report.
+    pub(crate) fn into_shard_partial(self) -> ShardPartial<A::Value> {
+        let slice = self.partition.slices()[self.active_slice];
+        let (start, end) = (slice.start.get() as usize, slice.end.get() as usize);
+        let mut proc_timeline = StateTimeline::new(&PROC_STATES);
+        for p in &self.procs {
+            proc_timeline.merge(&p.timeline);
+        }
+        let mut gen_timeline = StateTimeline::new(&GEN_STATES);
+        let mut cache_hits = 0;
+        let mut cache_misses = 0;
+        for u in &self.units {
+            cache_hits += u.cache.hits();
+            cache_misses += u.cache.misses();
+            for s in &u.streams {
+                gen_timeline.merge(&s.timeline);
+            }
+        }
+        ShardPartial {
+            start,
+            values: self.values[start..end].to_vec(),
+            cycles: self.now.get(),
+            rounds: self.round,
+            activations: self.slice_activations,
+            events_processed: self.events_processed,
+            events_generated: self.events_generated,
+            events_coalesced: self.events_coalesced,
+            events_exchanged: self.events_spilled,
+            ticks: self.ticks,
+            rounds_log: self.rounds_log,
+            stages: self.stages,
+            proc_timeline,
+            gen_timeline,
+            memory: self.mem.stats().clone(),
+            cache_hits,
+            cache_misses,
+            activity: self.activity,
+        }
     }
 
     fn tick(&mut self) {
@@ -428,18 +661,15 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
                     self.activity.queue_reads += 1;
                     let base_local = row_base_index(bin_idx, row, &self.cfg.queue);
                     debug_assert!(events.iter().all(|e| {
-                        let local = self.partition.slices()[self.active_slice]
-                            .local_index(e.target);
+                        let local =
+                            self.partition.slices()[self.active_slice].local_index(e.target);
                         local >= base_local && local < base_local + self.cfg.queue.cols
                     }));
                     for ev in events {
                         self.current_round.drained += 1;
                         self.current_round.lookahead.record(ev.meta.lookahead());
-                        let line = vertex_line(
-                            self.vertex_base,
-                            self.cfg.vertex_bytes,
-                            ev.target.get(),
-                        );
+                        let line =
+                            vertex_line(self.vertex_base, self.cfg.vertex_bytes, ev.target.get());
                         self.procs[target].push_token(ProcToken {
                             event: ev,
                             arrived: self.now,
@@ -493,6 +723,12 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
         }
 
         if remaining == 0 {
+            if self.shard_mode {
+                // Shards never swap slices: park until the epoch barrier
+                // delivers new events (or the whole run terminates).
+                self.phase = Phase::Done;
+                return;
+            }
             self.flush_spill_remainder();
             if let Some(next) = self.next_slice_with_work() {
                 self.start_slice_swap(next);
@@ -564,7 +800,8 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
             let addr = self.next_spill_addr();
             let req = MemRequest::read(addr, bytes, TrafficClass::EventFill);
             let id = self.mem.request(self.now, req).expect("can_accept checked");
-            self.pending_mem.insert(id.get(), MemTarget::FillChunk { events });
+            self.pending_mem
+                .insert(id.get(), MemTarget::FillChunk { events });
         }
     }
 
@@ -583,7 +820,10 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
         // 1. Retry a stalled generation hand-off.
         if let Some(task) = self.procs[p].stalled.take() {
             if self.units[p].has_space() {
-                let task = GenTask { queued_at: now, ..task };
+                let task = GenTask {
+                    queued_at: now,
+                    ..task
+                };
                 self.units[p].push_task(task);
             } else {
                 self.procs[p].stalled = Some(task);
@@ -604,9 +844,13 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
             if let Some(token) = self.procs[p].pop_ready() {
                 self.stages.vtx_mem.record((now - token.arrived) as f64);
                 self.activity.scratchpad_accesses += 1;
-                self.procs[p]
-                    .pipeline
-                    .issue(now, ApplyOp { event: token.event, issued: now });
+                self.procs[p].pipeline.issue(
+                    now,
+                    ApplyOp {
+                        event: token.event,
+                        issued: now,
+                    },
+                );
                 state = ST_PROCESS;
             }
         }
@@ -728,9 +972,7 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
         let now = self.now;
 
         // Pull a task if idle.
-        if self.units[u].streams[s].active.is_none()
-            && self.units[u].streams[s].pending.is_none()
-        {
+        if self.units[u].streams[s].active.is_none() && self.units[u].streams[s].pending.is_none() {
             if let Some(task) = self.units[u].buffer.pop_front() {
                 self.stages.gen_buffer.record((now - task.queued_at) as f64);
                 self.units[u].streams[s].active = Some(ActiveGen {
@@ -799,7 +1041,10 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
                 let ev = Event::new(edge.other, delta, depth);
                 self.events_generated += 1;
                 self.current_round.produced += 1;
-                let flit = Flit { route: self.route_of(&ev), event: ev };
+                let flit = Flit {
+                    route: self.route_of(&ev),
+                    event: ev,
+                };
                 let port = self.units[u].streams[s].port;
                 if self.xbar.can_send(port) {
                     self.xbar.send(port, flit);
@@ -837,20 +1082,18 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
         }
         let first_line = line_base(self.edge_addr(vertex, next_edge));
         let last_line = line_base(self.edge_addr(vertex, degree - 1));
-        let window_end =
-            (first_line + (self.cfg.edge_prefetch_depth.saturating_sub(1)) * LINE_BYTES)
-                .min(last_line);
+        let window_end = (first_line
+            + (self.cfg.edge_prefetch_depth.saturating_sub(1)) * LINE_BYTES)
+            .min(last_line);
         let mut line = first_line;
         while line <= window_end {
-            if !self.units[u].cache.contains(line) && !self.units[u].pending_lines.contains(&line)
-            {
+            if !self.units[u].cache.contains(line) && !self.units[u].pending_lines.contains(&line) {
                 if self.mem.can_accept(line) {
                     self.units[u].cache.probe(line); // counts the miss
-                    let list_end = self.edge_addr(vertex, degree - 1)
-                        + u64::from(self.edge_bytes);
-                    let useful =
-                        (list_end.min(line + LINE_BYTES) - line.max(self.edge_addr(vertex, 0)))
-                            .min(LINE_BYTES) as u32;
+                    let list_end = self.edge_addr(vertex, degree - 1) + u64::from(self.edge_bytes);
+                    let useful = (list_end.min(line + LINE_BYTES)
+                        - line.max(self.edge_addr(vertex, 0)))
+                    .min(LINE_BYTES) as u32;
                     let req = MemRequest::read(line, LINE_BYTES as u32, TrafficClass::EdgeRead)
                         .with_useful_bytes(useful.max(1).min(LINE_BYTES as u32));
                     let id = self.mem.request(self.now, req).expect("can_accept checked");
@@ -868,6 +1111,7 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
 
     fn tick_network(&mut self) {
         let accepts: Vec<bool> = self.bins.iter().map(Bin::can_accept).collect();
+        let now = self.now.get();
         let Machine {
             xbar,
             bins,
@@ -875,6 +1119,11 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
             events_spilled,
             spill_pending_bytes,
             cfg,
+            algo,
+            shard_mode,
+            outbox,
+            outbox_index,
+            out_seq,
             ..
         } = self;
         xbar.tick(&accepts, |flit| match flit.route {
@@ -882,9 +1131,28 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
                 bins[bin].accept(SlotAddr { bin, row, col }, flit.event);
             }
             Route::Spill { slice } => {
-                spill[slice].push_back(flit.event);
                 *events_spilled += 1;
-                *spill_pending_bytes += u64::from(cfg.event_bytes);
+                if *shard_mode {
+                    match outbox_index[slice].entry(flit.event.target.get()) {
+                        std::collections::hash_map::Entry::Occupied(at) => {
+                            let existing = &mut outbox[slice][*at.get()].event;
+                            existing.delta = algo.coalesce(existing.delta, flit.event.delta);
+                            existing.meta = existing.meta.merge(flit.event.meta);
+                        }
+                        std::collections::hash_map::Entry::Vacant(at) => {
+                            at.insert(outbox[slice].len());
+                            outbox[slice].push(OutEvent {
+                                cycle: now,
+                                seq: *out_seq,
+                                event: flit.event,
+                            });
+                            *out_seq += 1;
+                        }
+                    }
+                } else {
+                    spill[slice].push_back(flit.event);
+                    *spill_pending_bytes += u64::from(cfg.event_bytes);
+                }
             }
         });
     }
@@ -1033,7 +1301,11 @@ mod tests {
         let g = small_graph();
         let algo = PageRankDelta::new(0.85, 1e-7);
         let mut cfg = AcceleratorConfig::small_test();
-        cfg.queue = crate::QueueConfig { bins: 4, rows: 4, cols: 8 }; // 128 slots
+        cfg.queue = crate::QueueConfig {
+            bins: 4,
+            rows: 4,
+            cols: 8,
+        }; // 128 slots
         let out = GraphPulse::new(cfg).run(&g, &algo).unwrap();
         assert!(out.report.slices >= 2);
         assert!(out.report.events_spilled > 0);
@@ -1048,7 +1320,11 @@ mod tests {
         let algo = PageRankDelta::new(0.85, 1e-6);
         let mut cfg = AcceleratorConfig::baseline();
         cfg.processors = 8; // keep the debug-build test fast
-        cfg.queue = crate::QueueConfig { bins: 4, rows: 32, cols: 8 };
+        cfg.queue = crate::QueueConfig {
+            bins: 4,
+            rows: 32,
+            cols: 8,
+        };
         cfg.crossbar_ports = 4;
         let out = GraphPulse::new(cfg).run(&g, &algo).unwrap();
         let golden = run_sequential(&algo, &g);
@@ -1111,10 +1387,10 @@ mod tests {
 #[cfg(test)]
 mod scheduling_tests {
     use super::*;
+    use crate::SchedulingPolicy;
     use gp_algorithms::engine::run_sequential;
     use gp_algorithms::{max_abs_diff, PageRankDelta};
     use gp_graph::generators::{rmat, RmatConfig};
-    use crate::SchedulingPolicy;
 
     #[test]
     fn occupancy_first_scheduling_is_functionally_identical() {

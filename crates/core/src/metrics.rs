@@ -2,13 +2,12 @@
 
 use gp_mem::MemStats;
 use gp_sim::stats::{Average, StateTimeline};
-use serde::Serialize;
 
 use crate::EnergyReport;
 
 /// Lookahead-degree buckets exactly as Fig. 8 of the paper:
 /// `0, <100, <200, <300, <400, >400`.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct LookaheadBuckets {
     /// Events with zero lookahead (never coalesced across iterations).
     pub zero: u64,
@@ -56,7 +55,7 @@ impl LookaheadBuckets {
 }
 
 /// Per-round counters (Figs. 4 and 8).
-#[derive(Debug, Default, Clone, Serialize)]
+#[derive(Debug, Default, Clone)]
 pub struct RoundMetrics {
     /// Scheduler round number (one pass over all bins).
     pub round: u64,
@@ -74,7 +73,7 @@ pub struct RoundMetrics {
 
 /// Mean cycles an event spends in each execution stage, in the
 /// chronological order of the paper's Fig. 13.
-#[derive(Debug, Default, Clone, Serialize)]
+#[derive(Debug, Default, Clone)]
 pub struct StageAverages {
     /// Waiting in the processor input buffer for vertex data (Vtx Mem).
     pub vtx_mem: Average,
@@ -89,6 +88,15 @@ pub struct StageAverages {
 }
 
 impl StageAverages {
+    /// Accumulates another machine's stage samples (parallel-run merge).
+    pub fn merge(&mut self, other: &StageAverages) {
+        self.vtx_mem.merge(&other.vtx_mem);
+        self.process.merge(&other.process);
+        self.gen_buffer.merge(&other.gen_buffer);
+        self.edge_mem.merge(&other.edge_mem);
+        self.generate.merge(&other.generate);
+    }
+
     /// `(label, mean_cycles)` rows, chronological (bottom-to-top in Fig. 13).
     pub fn rows(&self) -> [(&'static str, f64); 5] {
         [
@@ -107,7 +115,7 @@ pub const PROC_STATES: [&str; 4] = ["vertex-read", "process", "stalling", "idle"
 pub const GEN_STATES: [&str; 4] = ["edge-read", "generate", "stalling", "idle"];
 
 /// Everything measured during one accelerator run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExecutionReport {
     /// Total simulated cycles.
     pub cycles: u64,

@@ -47,7 +47,10 @@ pub(crate) struct Crossbar<D> {
 
 impl<D: Copy> Crossbar<D> {
     pub(crate) fn new(ports: usize, port_cap: usize) -> Self {
-        assert!(ports > 0 && port_cap > 0, "crossbar needs ports and buffers");
+        assert!(
+            ports > 0 && port_cap > 0,
+            "crossbar needs ports and buffers"
+        );
         Crossbar {
             ports: vec![VecDeque::new(); ports],
             port_cap,
@@ -116,7 +119,11 @@ mod tests {
 
     fn flit(bin: usize, v: u32) -> Flit<f64> {
         Flit {
-            route: Route::Bin { bin, row: 0, col: 0 },
+            route: Route::Bin {
+                bin,
+                row: 0,
+                col: 0,
+            },
             event: Event::new(VertexId::new(v), 1.0, 0),
         }
     }
@@ -180,5 +187,4 @@ mod tests {
         assert!(!xb.can_send(0));
         assert_eq!(xb.flits_sent, 1);
     }
-
 }

@@ -1,0 +1,341 @@
+//! Shard-parallel execution engine with deterministic epoch-barrier
+//! event exchange.
+//!
+//! The graph is partitioned into contiguous *shards* with
+//! [`Partition::contiguous`]; each shard owns one permanently resident
+//! slice together with its own event queue, processors, generation units,
+//! and DRAM model — exactly the machine of [`crate::machine`], minus slice
+//! swapping. Shards advance independently for
+//! [`ParallelConfig::epoch_cycles`](crate::ParallelConfig) simulated
+//! cycles, then meet at a barrier where cross-shard events are exchanged
+//! through per-shard inboxes.
+//!
+//! # Determinism
+//!
+//! Two properties make the engine bit-deterministic for **any** worker
+//! count:
+//!
+//! 1. The shard structure is derived only from the configuration and the
+//!    graph (queue capacity, or the explicit
+//!    [`ParallelConfig::shards`](crate::ParallelConfig) override) — never
+//!    from `workers`. A worker is just an OS thread stepping a disjoint
+//!    subset of shards between barriers; each shard's simulation is a
+//!    pure function of its inputs.
+//! 2. Inbox merge order is canonical: every outgoing event is tagged with
+//!    its emission `(cycle, seq)` by the sender, and each inbox is sorted
+//!    by `(cycle, source shard, seq)` before delivery.
+//!
+//! Consequently final vertex values, total cycles, and every statistic
+//! are identical for 1, 2, 4, ... workers; threads only change wall-clock
+//! time.
+
+use std::sync::Mutex;
+
+use gp_algorithms::DeltaAlgorithm;
+use gp_graph::partition::Partition;
+use gp_graph::CsrGraph;
+use gp_sim::stats::StatsRegistry;
+use gp_sim::Cycle;
+
+use crate::energy::{ActivityCounters, EnergyModel, EnergyReport};
+use crate::machine::Machine;
+use crate::metrics::{ExecutionReport, RoundMetrics, StageAverages};
+use crate::metrics::{GEN_STATES, PROC_STATES};
+use crate::{GraphPulse, RunError};
+use gp_sim::stats::StateTimeline;
+
+/// Result of a parallel run: the merged [`Outcome`](crate::Outcome) fields
+/// plus the barrier-merged counter registry.
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome {
+    /// Final vertex values projected to `f64` (bit-identical across worker
+    /// counts).
+    pub values: Vec<f64>,
+    /// Merged measurement report; `cycles` is the slowest shard's clock.
+    pub report: ExecutionReport,
+    /// Snapshot of the epoch-merged [`StatsRegistry`] in name order.
+    pub stats: Vec<(&'static str, u64)>,
+    /// Number of epoch barriers executed.
+    pub epochs: u64,
+    /// Number of shards the graph was split into.
+    pub shards: usize,
+    /// Simulation ticks each shard actually executed (its share of the
+    /// parallel work). Like every other field this is identical for any
+    /// worker count, so `sum / max-per-worker-chunk` is a host-independent
+    /// measure of the speedup a sufficiently parallel machine realizes.
+    pub shard_ticks: Vec<u64>,
+}
+
+impl GraphPulse {
+    /// Runs `algo` on `graph` with the shard-parallel engine.
+    ///
+    /// See the module docs of [`crate::parallel`] for the execution model
+    /// and the determinism guarantee. `config.parallel.workers` only sets
+    /// the thread count; results are bit-identical for any value.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::InvalidConfig`] if the configuration is inconsistent or
+    /// a forced shard count would overflow the event queue;
+    /// [`RunError::CycleLimit`] if any shard exceeds `config.max_cycles`.
+    pub fn run_parallel<A: DeltaAlgorithm>(
+        &self,
+        graph: &CsrGraph,
+        algo: &A,
+    ) -> Result<ParallelOutcome, RunError> {
+        let cfg = self.config();
+        cfg.validate().map_err(RunError::InvalidConfig)?;
+        let pc = cfg.parallel;
+
+        let queue_capacity = cfg.queue.capacity().max(1);
+        let per_slice = if pc.shards > 0 {
+            let forced = graph.num_vertices().div_ceil(pc.shards).max(1);
+            if forced > queue_capacity {
+                return Err(RunError::InvalidConfig(format!(
+                    "{} shards put {forced} vertices in a slice, above the \
+                     queue capacity of {queue_capacity}",
+                    pc.shards
+                )));
+            }
+            forced
+        } else {
+            queue_capacity
+        };
+        let partition = Partition::contiguous(graph, per_slice);
+        let shard_count = partition.len();
+        if shard_count == 0 {
+            // Empty graph: the sequential path already handles it.
+            let out = self.run(graph, algo)?;
+            return Ok(ParallelOutcome {
+                values: out.values,
+                report: out.report,
+                stats: Vec::new(),
+                epochs: 0,
+                shards: 0,
+                shard_ticks: Vec::new(),
+            });
+        }
+
+        let mut machines: Vec<Machine<'_, A>> = (0..shard_count)
+            .map(|s| Machine::new_shard(cfg, graph, algo, partition.clone(), s))
+            .collect();
+        for m in &mut machines {
+            m.seed_shard_events();
+        }
+
+        let registry = StatsRegistry::new();
+        let workers = pc.workers.clamp(1, shard_count);
+        let chunk = shard_count.div_ceil(workers);
+        let mut epochs = 0u64;
+        let mut barrier = 0u64;
+
+        let trace = std::env::var("GP_PARALLEL_TRACE").is_ok();
+        let mut t_run = std::time::Duration::ZERO;
+        let mut t_gather = std::time::Duration::ZERO;
+        let mut t_deliver = std::time::Duration::ZERO;
+        let mut total_exchanged = 0usize;
+
+        loop {
+            barrier = barrier.saturating_add(pc.epoch_cycles);
+            epochs += 1;
+            let epoch_end = Cycle::new(barrier);
+            let t0 = std::time::Instant::now();
+
+            // Run every shard up to the barrier; workers step disjoint
+            // chunks, so no shard state is shared between threads.
+            let first_err: Mutex<Option<RunError>> = Mutex::new(None);
+            std::thread::scope(|scope| {
+                for chunk_machines in machines.chunks_mut(chunk) {
+                    let first_err = &first_err;
+                    scope.spawn(move || {
+                        for m in chunk_machines {
+                            if let Err(e) = m.run_epoch(epoch_end) {
+                                let mut slot = first_err.lock().expect("error slot poisoned");
+                                slot.get_or_insert(e);
+                                return;
+                            }
+                        }
+                    });
+                }
+            });
+            if let Some(e) = first_err.into_inner().expect("error slot poisoned") {
+                return Err(e);
+            }
+            t_run += t0.elapsed();
+            let t0 = std::time::Instant::now();
+
+            // Sharded counters merge into the thread-safe registry at the
+            // barrier (order-independent: counter addition commutes).
+            for m in &mut machines {
+                registry.absorb(m.drain_epoch_stats());
+            }
+
+            // Exchange: gather every shard's outboxes into per-destination
+            // inboxes tagged (cycle, source shard, seq).
+            let mut inboxes: Vec<Vec<(u64, usize, u64, _)>> =
+                (0..shard_count).map(|_| Vec::new()).collect();
+            for (src, m) in machines.iter_mut().enumerate() {
+                for (dst, out) in m.take_outboxes().into_iter().enumerate() {
+                    for oe in out {
+                        inboxes[dst].push((oe.cycle, src, oe.seq, oe.event));
+                    }
+                }
+            }
+            let exchanged: usize = inboxes.iter().map(Vec::len).sum();
+            t_gather += t0.elapsed();
+            total_exchanged += exchanged;
+            if exchanged == 0 && machines.iter().all(Machine::parked) {
+                break;
+            }
+            let t0 = std::time::Instant::now();
+
+            // Deliver in the canonical order so insertion (and therefore
+            // coalescing) is identical for every worker count. Destinations
+            // are independent, so workers sort + install disjoint chunks.
+            std::thread::scope(|scope| {
+                for (chunk_machines, chunk_inboxes) in
+                    machines.chunks_mut(chunk).zip(inboxes.chunks_mut(chunk))
+                {
+                    scope.spawn(move || {
+                        for (m, inbox) in chunk_machines.iter_mut().zip(chunk_inboxes) {
+                            if inbox.is_empty() {
+                                continue;
+                            }
+                            inbox.sort_by_key(|&(cycle, src, seq, _)| (cycle, src, seq));
+                            m.deliver(epoch_end, inbox.drain(..).map(|(_, _, _, ev)| ev));
+                        }
+                    });
+                }
+            });
+            t_deliver += t0.elapsed();
+        }
+        if trace {
+            eprintln!(
+                "[parallel trace] run {:.0}ms gather {:.0}ms deliver {:.0}ms exchanged {}",
+                t_run.as_secs_f64() * 1e3,
+                t_gather.as_secs_f64() * 1e3,
+                t_deliver.as_secs_f64() * 1e3,
+                total_exchanged
+            );
+            for (s, m) in machines.iter().enumerate() {
+                eprintln!("[parallel trace] shard {s}: {}", m.trace_summary());
+            }
+        }
+        for m in &mut machines {
+            registry.absorb(m.drain_epoch_stats());
+        }
+
+        Ok(self.merge_outcome(graph, algo, machines, registry, epochs, shard_count))
+    }
+
+    fn merge_outcome<A: DeltaAlgorithm>(
+        &self,
+        graph: &CsrGraph,
+        algo: &A,
+        machines: Vec<Machine<'_, A>>,
+        registry: StatsRegistry,
+        epochs: u64,
+        shards: usize,
+    ) -> ParallelOutcome {
+        let cfg = self.config();
+        let mut values = vec![0.0f64; graph.num_vertices()];
+        let mut cycles = 0u64;
+        let mut rounds = 0u64;
+        let mut activations = 0u64;
+        let mut processed = 0u64;
+        let mut generated = 0u64;
+        let mut coalesced = 0u64;
+        let mut exchanged = 0u64;
+        let mut rounds_log: Vec<RoundMetrics> = Vec::new();
+        let mut stages = StageAverages::default();
+        let mut proc_timeline = StateTimeline::new(&PROC_STATES);
+        let mut gen_timeline = StateTimeline::new(&GEN_STATES);
+        let mut memory = gp_mem::MemStats::default();
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut activity = ActivityCounters::default();
+        let mut shard_ticks = Vec::with_capacity(shards);
+
+        for machine in machines {
+            let part = machine.into_shard_partial();
+            shard_ticks.push(part.ticks);
+            for (i, v) in part.values.iter().enumerate() {
+                values[part.start + i] = algo.value_to_f64(*v);
+            }
+            cycles = cycles.max(part.cycles);
+            rounds = rounds.max(part.rounds);
+            activations += part.activations;
+            processed += part.events_processed;
+            generated += part.events_generated;
+            coalesced += part.events_coalesced;
+            exchanged += part.events_exchanged;
+            // Align per-shard round logs by round index so aggregate
+            // invariants (e.g. lookahead totals) keep holding.
+            if rounds_log.len() < part.rounds_log.len() {
+                rounds_log.resize_with(part.rounds_log.len(), RoundMetrics::default);
+            }
+            for (i, r) in part.rounds_log.into_iter().enumerate() {
+                let dst = &mut rounds_log[i];
+                dst.round = i as u64;
+                dst.produced += r.produced;
+                dst.coalesced_away += r.coalesced_away;
+                dst.drained += r.drained;
+                dst.remaining += r.remaining;
+                dst.lookahead.zero += r.lookahead.zero;
+                dst.lookahead.lt100 += r.lookahead.lt100;
+                dst.lookahead.lt200 += r.lookahead.lt200;
+                dst.lookahead.lt300 += r.lookahead.lt300;
+                dst.lookahead.lt400 += r.lookahead.lt400;
+                dst.lookahead.ge400 += r.lookahead.ge400;
+            }
+            stages.merge(&part.stages);
+            proc_timeline.merge(&part.proc_timeline);
+            gen_timeline.merge(&part.gen_timeline);
+            memory.merge(&part.memory);
+            cache_hits += part.cache_hits;
+            cache_misses += part.cache_misses;
+            activity.queue_reads += part.activity.queue_reads;
+            activity.queue_writes += part.activity.queue_writes;
+            activity.coalesce_ops += part.activity.coalesce_ops;
+            activity.scratchpad_accesses += part.activity.scratchpad_accesses;
+            activity.network_flits += part.activity.network_flits;
+            activity.proc_ops += part.activity.proc_ops;
+        }
+
+        let seconds = cfg.cycles_to_seconds(cycles.max(1));
+        let energy = EnergyReport::from_activity(
+            &EnergyModel::paper(),
+            &activity,
+            seconds,
+            cfg.queue.bins,
+            cfg.processors,
+        );
+        let report = ExecutionReport {
+            cycles,
+            seconds,
+            rounds,
+            slices: shards as u64,
+            slice_activations: activations,
+            events_processed: processed,
+            events_generated: generated,
+            events_coalesced: coalesced,
+            events_spilled: exchanged,
+            rounds_log,
+            stages,
+            proc_timeline,
+            gen_timeline,
+            memory,
+            edge_cache_hits: cache_hits,
+            edge_cache_misses: cache_misses,
+            energy,
+        };
+        ParallelOutcome {
+            values,
+            report,
+            stats: registry.snapshot(),
+            epochs,
+            shards,
+            shard_ticks,
+        }
+    }
+}

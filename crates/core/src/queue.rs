@@ -149,9 +149,7 @@ impl<D: Copy> Bin<D> {
         if !self.inflight.can_issue(now) {
             return None;
         }
-        let Some((slot, _)) = self.input.front() else {
-            return None;
-        };
+        let (slot, _) = self.input.front()?;
         let row = slot.row;
         if self.inflight.iter().any(|r| *r == row) {
             return None; // same-row hazard: stall until the write retires
@@ -236,12 +234,40 @@ mod tests {
             assert!(seen.insert((s.bin, s.row, s.col)), "collision at {l}");
         }
         // Consecutive vertices share a row until the columns run out...
-        assert_eq!(slot_of(0, &c), SlotAddr { bin: 0, row: 0, col: 0 });
-        assert_eq!(slot_of(3, &c), SlotAddr { bin: 0, row: 0, col: 3 });
+        assert_eq!(
+            slot_of(0, &c),
+            SlotAddr {
+                bin: 0,
+                row: 0,
+                col: 0
+            }
+        );
+        assert_eq!(
+            slot_of(3, &c),
+            SlotAddr {
+                bin: 0,
+                row: 0,
+                col: 3
+            }
+        );
         // ...then move to the next bin, same row.
-        assert_eq!(slot_of(4, &c), SlotAddr { bin: 1, row: 0, col: 0 });
+        assert_eq!(
+            slot_of(4, &c),
+            SlotAddr {
+                bin: 1,
+                row: 0,
+                col: 0
+            }
+        );
         // ...and only then to the next row.
-        assert_eq!(slot_of(8, &c), SlotAddr { bin: 0, row: 1, col: 0 });
+        assert_eq!(
+            slot_of(8, &c),
+            SlotAddr {
+                bin: 0,
+                row: 1,
+                col: 0
+            }
+        );
         // row_base_index inverts the mapping for whole rows.
         assert_eq!(row_base_index(1, 0, &c), 4);
         assert_eq!(row_base_index(0, 1, &c), 8);
@@ -251,7 +277,11 @@ mod tests {
     fn insert_then_coalesce() {
         let pr = PageRankDelta::new(0.85, 0.0);
         let mut bin: Bin<f64> = Bin::new(&cfg(), 8, 4);
-        let slot = SlotAddr { bin: 0, row: 0, col: 0 };
+        let slot = SlotAddr {
+            bin: 0,
+            row: 0,
+            col: 0,
+        };
         bin.accept(slot, Event::new(VertexId::new(0), 1.0, 0));
         bin.accept(slot, Event::new(VertexId::new(0), 2.0, 5));
 
@@ -277,8 +307,22 @@ mod tests {
     fn different_rows_insert_back_to_back() {
         let pr = PageRankDelta::new(0.85, 0.0);
         let mut bin: Bin<f64> = Bin::new(&cfg(), 8, 4);
-        bin.accept(SlotAddr { bin: 0, row: 0, col: 0 }, Event::new(VertexId::new(0), 1.0, 0));
-        bin.accept(SlotAddr { bin: 0, row: 1, col: 0 }, Event::new(VertexId::new(8), 1.0, 0));
+        bin.accept(
+            SlotAddr {
+                bin: 0,
+                row: 0,
+                col: 0,
+            },
+            Event::new(VertexId::new(0), 1.0, 0),
+        );
+        bin.accept(
+            SlotAddr {
+                bin: 0,
+                row: 1,
+                col: 0,
+            },
+            Event::new(VertexId::new(8), 1.0, 0),
+        );
         assert!(bin.tick_insert(Cycle::new(0), &pr).is_some());
         assert!(bin.tick_insert(Cycle::new(1), &pr).is_some());
         assert_eq!(bin.occupancy(), 2);
@@ -290,7 +334,11 @@ mod tests {
         let mut bin: Bin<f64> = Bin::new(&cfg(), 8, 1);
         for (i, row) in [0usize, 2].iter().enumerate() {
             bin.accept(
-                SlotAddr { bin: 0, row: *row, col: 0 },
+                SlotAddr {
+                    bin: 0,
+                    row: *row,
+                    col: 0,
+                },
                 Event::new(VertexId::new(i as u32), 1.0, 0),
             );
             bin.tick_insert(Cycle::new(i as u64), &pr);
@@ -301,7 +349,14 @@ mod tests {
         bin.drain_row(2, Cycle::new(5));
         assert_eq!(bin.peek_drain(), None);
         // An event inserted behind the sweep waits for the next round.
-        bin.accept(SlotAddr { bin: 0, row: 1, col: 1 }, Event::new(VertexId::new(9), 1.0, 0));
+        bin.accept(
+            SlotAddr {
+                bin: 0,
+                row: 1,
+                col: 1,
+            },
+            Event::new(VertexId::new(9), 1.0, 0),
+        );
         bin.tick_insert(Cycle::new(10), &pr);
         assert_eq!(bin.peek_drain(), None);
         bin.reset_sweep();
@@ -312,12 +367,138 @@ mod tests {
     fn drain_blocks_insert_same_cycle() {
         let pr = PageRankDelta::new(0.85, 0.0);
         let mut bin: Bin<f64> = Bin::new(&cfg(), 8, 1);
-        bin.accept(SlotAddr { bin: 0, row: 0, col: 0 }, Event::new(VertexId::new(0), 1.0, 0));
+        bin.accept(
+            SlotAddr {
+                bin: 0,
+                row: 0,
+                col: 0,
+            },
+            Event::new(VertexId::new(0), 1.0, 0),
+        );
         bin.tick_insert(Cycle::new(0), &pr);
-        bin.accept(SlotAddr { bin: 0, row: 3, col: 0 }, Event::new(VertexId::new(1), 1.0, 0));
+        bin.accept(
+            SlotAddr {
+                bin: 0,
+                row: 3,
+                col: 0,
+            },
+            Event::new(VertexId::new(1), 1.0, 0),
+        );
         bin.drain_row(0, Cycle::new(5));
         assert_eq!(bin.tick_insert(Cycle::new(5), &pr), None); // stalled by drain
         assert!(bin.tick_insert(Cycle::new(6), &pr).is_some());
+    }
+
+    /// Randomized queue geometries for the property tests below, skewed
+    /// toward degenerate shapes (single bin, single column, single row).
+    fn random_configs(rng: &mut gp_graph::rng::StdRng, n: usize) -> Vec<QueueConfig> {
+        use gp_graph::rng::Rng;
+        let mut cfgs = vec![
+            QueueConfig {
+                bins: 1,
+                rows: 1,
+                cols: 1,
+            },
+            QueueConfig {
+                bins: 1,
+                rows: 7,
+                cols: 3,
+            },
+            QueueConfig {
+                bins: 5,
+                rows: 1,
+                cols: 2,
+            },
+            QueueConfig {
+                bins: 3,
+                rows: 4,
+                cols: 1,
+            },
+        ];
+        for _ in 0..n {
+            cfgs.push(QueueConfig {
+                bins: rng.gen_range(1..9usize),
+                rows: rng.gen_range(1..17usize),
+                cols: rng.gen_range(1..9usize),
+            });
+        }
+        cfgs
+    }
+
+    #[test]
+    fn property_slot_of_round_trips_through_row_base_index() {
+        let mut rng = gp_graph::rng::StdRng::seed_from_u64(0x51);
+        for (case, c) in random_configs(&mut rng, 24).into_iter().enumerate() {
+            for l in 0..c.capacity() {
+                let s = slot_of(l, &c);
+                let base = row_base_index(s.bin, s.row, &c);
+                assert_eq!(
+                    base + s.col,
+                    l,
+                    "case {case}: row base + column must reconstruct the index"
+                );
+                assert!(
+                    base <= l && l < base + c.cols,
+                    "case {case}: index outside its row"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn property_no_two_local_indices_share_a_slot() {
+        let mut rng = gp_graph::rng::StdRng::seed_from_u64(0x52);
+        for (case, c) in random_configs(&mut rng, 24).into_iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for l in 0..c.capacity() {
+                let s = slot_of(l, &c);
+                assert!(s.bin < c.bins && s.row < c.rows && s.col < c.cols);
+                assert!(
+                    seen.insert((s.bin, s.row, s.col)),
+                    "case {case}: local indices {l} and an earlier one share a slot"
+                );
+            }
+            assert_eq!(seen.len(), c.capacity());
+        }
+    }
+
+    #[test]
+    fn property_drained_row_is_a_block_of_consecutive_vertices() {
+        use gp_graph::rng::Rng;
+        let pr = PageRankDelta::new(0.85, 0.0);
+        let mut rng = gp_graph::rng::StdRng::seed_from_u64(0x53);
+        for (case, c) in random_configs(&mut rng, 12).into_iter().enumerate() {
+            // Install every local index of a random subset of the capacity.
+            let mut bins: Vec<Bin<f64>> = (0..c.bins).map(|_| Bin::new(&c, 8, 1)).collect();
+            for l in 0..c.capacity() {
+                if rng.gen_bool(0.7) {
+                    let s = slot_of(l, &c);
+                    bins[s.bin].install(&pr, s, Event::new(VertexId::new(l as u32), 1.0, 0));
+                }
+            }
+            for (b, bin) in bins.iter_mut().enumerate() {
+                let mut now = Cycle::ZERO;
+                while let Some((row, count)) = bin.peek_drain() {
+                    assert!(count > 0, "install path leaves no busy rows");
+                    let evs = bin.drain_row(row, now);
+                    now = now.next();
+                    let base = row_base_index(b, row, &c);
+                    // Drained events are `cols` consecutive vertices of the
+                    // row's block, in ascending column order.
+                    let targets: Vec<usize> = evs.iter().map(|e| e.target.index()).collect();
+                    let mut sorted = targets.clone();
+                    sorted.sort_unstable();
+                    assert_eq!(targets, sorted, "case {case}: drain out of column order");
+                    for t in &targets {
+                        assert!(
+                            *t >= base && *t < base + c.cols,
+                            "case {case}: vertex {t} outside block [{base}, {})",
+                            base + c.cols
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -325,7 +506,14 @@ mod tests {
         let pr = PageRankDelta::new(0.85, 0.0);
         let mut bin: Bin<f64> = Bin::new(&cfg(), 8, 2);
         assert!(bin.is_quiescent());
-        bin.accept(SlotAddr { bin: 0, row: 0, col: 0 }, Event::new(VertexId::new(0), 1.0, 0));
+        bin.accept(
+            SlotAddr {
+                bin: 0,
+                row: 0,
+                col: 0,
+            },
+            Event::new(VertexId::new(0), 1.0, 0),
+        );
         assert!(!bin.is_quiescent());
         bin.tick_insert(Cycle::new(0), &pr);
         assert!(!bin.is_quiescent()); // still in the coalescer pipeline

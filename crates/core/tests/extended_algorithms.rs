@@ -12,7 +12,11 @@ use graphpulse_core::{AcceleratorConfig, GraphPulse, QueueConfig};
 
 fn accel() -> GraphPulse {
     let mut cfg = AcceleratorConfig::small_test();
-    cfg.queue = QueueConfig { bins: 4, rows: 32, cols: 8 };
+    cfg.queue = QueueConfig {
+        bins: 4,
+        rows: 32,
+        cols: 8,
+    };
     GraphPulse::new(cfg)
 }
 
@@ -57,7 +61,11 @@ fn personalized_pagerank_on_the_accelerator() {
 fn sswp_survives_slicing() {
     let g = erdos_renyi(300, 1_800, WeightMode::Uniform(1.0, 8.0), 3);
     let mut cfg = AcceleratorConfig::small_test();
-    cfg.queue = QueueConfig { bins: 4, rows: 4, cols: 8 }; // 128 slots → slices
+    cfg.queue = QueueConfig {
+        bins: 4,
+        rows: 4,
+        cols: 8,
+    }; // 128 slots → slices
     let out = GraphPulse::new(cfg)
         .run(&g, &Sswp::new(VertexId::new(0)))
         .expect("run");

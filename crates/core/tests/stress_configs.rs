@@ -10,7 +10,11 @@ use graphpulse_core::{AcceleratorConfig, GraphPulse, QueueConfig, RunError};
 
 fn base() -> AcceleratorConfig {
     let mut cfg = AcceleratorConfig::small_test();
-    cfg.queue = QueueConfig { bins: 4, rows: 32, cols: 8 };
+    cfg.queue = QueueConfig {
+        bins: 4,
+        rows: 32,
+        cols: 8,
+    };
     cfg
 }
 
@@ -35,7 +39,9 @@ fn single_entry_buffers_still_make_progress() {
     cfg.bin_input_depth = 1;
     cfg.gen_buffer = 1;
     cfg.input_buffer = cfg.queue.cols; // minimum legal
-    let out = GraphPulse::new(cfg).run(&g, &algo).expect("must not deadlock");
+    let out = GraphPulse::new(cfg)
+        .run(&g, &algo)
+        .expect("must not deadlock");
     assert!(max_abs_diff(&out.values, &golden.values) < 1e-9);
 }
 
@@ -85,7 +91,11 @@ fn pathological_slice_count_still_converges() {
     let algo = ConnectedComponents::new();
     let golden = run_sequential(&algo, &g);
     let mut cfg = base();
-    cfg.queue = QueueConfig { bins: 2, rows: 2, cols: 8 };
+    cfg.queue = QueueConfig {
+        bins: 2,
+        rows: 2,
+        cols: 8,
+    };
     let out = GraphPulse::new(cfg).run(&g, &algo).expect("run");
     assert_eq!(out.report.slices, 10);
     assert!(out.report.slice_activations >= 10);

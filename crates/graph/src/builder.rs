@@ -115,7 +115,7 @@ impl GraphBuilder {
         if self.drop_self_loops {
             edges.retain(|&(s, d, _)| s != d);
         }
-        edges.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        edges.sort_unstable_by_key(|e| (e.0, e.1));
         if self.dedup {
             edges.dedup_by_key(|e| (e.0, e.1));
         }
@@ -131,7 +131,13 @@ impl GraphBuilder {
         let neighbors: Vec<VertexId> = edges.iter().map(|&(_, d, _)| VertexId::new(d)).collect();
         let weights: Vec<f32> = edges.iter().map(|&(_, _, w)| w).collect();
 
-        CsrGraph::from_parts(self.num_vertices, offsets, neighbors, weights, self.weighted)
+        CsrGraph::from_parts(
+            self.num_vertices,
+            offsets,
+            neighbors,
+            weights,
+            self.weighted,
+        )
     }
 }
 
@@ -188,7 +194,11 @@ mod tests {
             b.add_edge(VertexId::new(0), VertexId::new(d), 1.0);
         }
         let g = b.build();
-        let ns: Vec<u32> = g.out_neighbors(VertexId::new(0)).iter().map(|v| v.get()).collect();
+        let ns: Vec<u32> = g
+            .out_neighbors(VertexId::new(0))
+            .iter()
+            .map(|v| v.get())
+            .collect();
         assert_eq!(ns, vec![1, 2, 3, 4]);
     }
 

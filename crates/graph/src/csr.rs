@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::VertexId;
 
 /// A directed graph in Compressed Sparse Row form, with both out- and
@@ -20,7 +18,7 @@ use crate::VertexId;
 ///
 /// Construct via [`GraphBuilder`](crate::GraphBuilder) or the
 /// [`generators`](crate::generators).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CsrGraph {
     num_vertices: u32,
     /// `out_offsets[v]..out_offsets[v+1]` indexes `out_neighbors`/`weights`.
@@ -226,7 +224,11 @@ impl CsrGraph {
         if self.out_offsets.len() != n + 1 || self.in_offsets.len() != n + 1 {
             return Err("offset array length mismatch".into());
         }
-        for w in self.out_offsets.windows(2).chain(self.in_offsets.windows(2)) {
+        for w in self
+            .out_offsets
+            .windows(2)
+            .chain(self.in_offsets.windows(2))
+        {
             if w[0] > w[1] {
                 return Err("offsets not monotone".into());
             }
@@ -264,7 +266,11 @@ impl fmt::Display for CsrGraph {
             "CsrGraph({} vertices, {} edges, {})",
             self.num_vertices(),
             self.num_edges(),
-            if self.weighted { "weighted" } else { "unweighted" }
+            if self.weighted {
+                "weighted"
+            } else {
+                "unweighted"
+            }
         )
     }
 }

@@ -1,7 +1,6 @@
 //! Barabási–Albert preferential-attachment generator.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gp_sim::rng::{Rng, StdRng};
 
 use super::WeightMode;
 use crate::{CsrGraph, GraphBuilder, VertexId};

@@ -1,7 +1,6 @@
 //! Erdős–Rényi uniform random graphs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gp_sim::rng::{Rng, StdRng};
 
 use super::WeightMode;
 use crate::{CsrGraph, GraphBuilder, VertexId};

@@ -1,7 +1,6 @@
 //! 2-D grid (road-network-like) graphs.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use gp_sim::rng::StdRng;
 
 use super::WeightMode;
 use crate::{CsrGraph, GraphBuilder, VertexId};

@@ -24,23 +24,18 @@ pub use grid::grid_2d;
 pub use rmat::{rmat, RmatConfig};
 pub use small_world::watts_strogatz;
 
-use rand::Rng;
+use gp_sim::rng::Rng;
 
 use crate::GraphBuilder;
 
 /// How edge weights are assigned by a generator.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum WeightMode {
     /// All weights `1.0`; the graph is marked unweighted.
+    #[default]
     Unweighted,
     /// Weights drawn uniformly from `[lo, hi)`; the graph is marked weighted.
     Uniform(f32, f32),
-}
-
-impl Default for WeightMode {
-    fn default() -> Self {
-        WeightMode::Unweighted
-    }
 }
 
 impl WeightMode {
@@ -61,8 +56,7 @@ impl WeightMode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gp_sim::rng::StdRng;
 
     #[test]
     fn weight_modes_sample_in_range() {

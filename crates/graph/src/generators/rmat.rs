@@ -1,7 +1,6 @@
 //! R-MAT (recursive matrix) graph generator.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gp_sim::rng::{Rng, StdRng};
 
 use super::WeightMode;
 use crate::{CsrGraph, GraphBuilder, VertexId};
@@ -90,7 +89,8 @@ pub fn rmat(config: &RmatConfig, seed: u64) -> CsrGraph {
     // Fixed multiplicative scramble maps the padded id space onto the
     // requested vertex count while dispersing hubs.
     let n = config.vertices as u64;
-    let scramble = |v: usize| -> u32 { ((v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n) as u32 };
+    let scramble =
+        |v: usize| -> u32 { ((v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n) as u32 };
 
     let mut builder = GraphBuilder::new(config.vertices);
     config.weights.mark(&mut builder);

@@ -4,9 +4,51 @@ use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Little-endian cursor over a byte slice for the binary decoder.
+struct Cursor<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], ReadGraphError> {
+        if self.data.len() < N {
+            return Err(ReadGraphError::Truncated);
+        }
+        let (head, rest) = self.data.split_at(N);
+        self.data = rest;
+        Ok(head.try_into().expect("split_at guarantees length"))
+    }
+
+    fn get_u8(&mut self) -> Result<u8, ReadGraphError> {
+        Ok(self.take::<1>()?[0])
+    }
+
+    fn get_u16_le(&mut self) -> Result<u16, ReadGraphError> {
+        Ok(u16::from_le_bytes(self.take()?))
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32, ReadGraphError> {
+        Ok(u32::from_le_bytes(self.take()?))
+    }
+
+    fn get_u64_le(&mut self) -> Result<u64, ReadGraphError> {
+        Ok(u64::from_le_bytes(self.take()?))
+    }
+
+    fn get_f32_le(&mut self) -> Result<f32, ReadGraphError> {
+        Ok(f32::from_le_bytes(self.take()?))
+    }
+}
 
 /// Errors produced while reading graph files.
 #[derive(Debug)]
@@ -100,7 +142,11 @@ pub fn read_edge_list<R: Read>(
         max_id = max_id.max(src).max(dst);
         edges.push((src, dst, weight));
     }
-    let n = num_vertices.unwrap_or(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    let n = num_vertices.unwrap_or(if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
     let mut b = GraphBuilder::new(n);
     b.weighted(weighted);
     for (s, d, w) in edges {
@@ -139,25 +185,25 @@ const MAGIC: u32 = 0x4750_4C53; // "GPLS"
 ///
 /// Layout: magic, version, vertex count, edge count, weighted flag, then
 /// `(src, dst[, weight])` triples in CSR order, little-endian.
-pub fn encode_binary(graph: &CsrGraph) -> Bytes {
+pub fn encode_binary(graph: &CsrGraph) -> Vec<u8> {
     let weighted = graph.is_weighted();
-    let mut buf = BytesMut::with_capacity(20 + graph.num_edges() * if weighted { 12 } else { 8 });
-    buf.put_u32_le(MAGIC);
-    buf.put_u16_le(1); // version
-    buf.put_u8(u8::from(weighted));
-    buf.put_u8(0); // reserved
-    buf.put_u32_le(graph.num_vertices() as u32);
-    buf.put_u64_le(graph.num_edges() as u64);
+    let mut buf = Vec::with_capacity(20 + graph.num_edges() * if weighted { 12 } else { 8 });
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&1u16.to_le_bytes()); // version
+    buf.push(u8::from(weighted));
+    buf.push(0); // reserved
+    buf.extend_from_slice(&(graph.num_vertices() as u32).to_le_bytes());
+    buf.extend_from_slice(&(graph.num_edges() as u64).to_le_bytes());
     for v in graph.vertices() {
         for e in graph.out_edges(v) {
-            buf.put_u32_le(v.get());
-            buf.put_u32_le(e.other.get());
+            buf.extend_from_slice(&v.get().to_le_bytes());
+            buf.extend_from_slice(&e.other.get().to_le_bytes());
             if weighted {
-                buf.put_f32_le(e.weight);
+                buf.extend_from_slice(&e.weight.to_le_bytes());
             }
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a graph from the binary format produced by [`encode_binary`].
@@ -166,18 +212,19 @@ pub fn encode_binary(graph: &CsrGraph) -> Bytes {
 ///
 /// Returns [`ReadGraphError::BadMagic`] or [`ReadGraphError::Truncated`] on
 /// malformed input.
-pub fn decode_binary(mut data: &[u8]) -> Result<CsrGraph, ReadGraphError> {
+pub fn decode_binary(data: &[u8]) -> Result<CsrGraph, ReadGraphError> {
+    let mut data = Cursor::new(data);
     if data.remaining() < 20 {
         return Err(ReadGraphError::Truncated);
     }
-    if data.get_u32_le() != MAGIC {
+    if data.get_u32_le()? != MAGIC {
         return Err(ReadGraphError::BadMagic);
     }
-    let _version = data.get_u16_le();
-    let weighted = data.get_u8() != 0;
-    let _reserved = data.get_u8();
-    let n = data.get_u32_le() as usize;
-    let m = data.get_u64_le() as usize;
+    let _version = data.get_u16_le()?;
+    let weighted = data.get_u8()? != 0;
+    let _reserved = data.get_u8()?;
+    let n = data.get_u32_le()? as usize;
+    let m = data.get_u64_le()? as usize;
     let record = if weighted { 12 } else { 8 };
     if data.remaining() < m * record {
         return Err(ReadGraphError::Truncated);
@@ -187,9 +234,9 @@ pub fn decode_binary(mut data: &[u8]) -> Result<CsrGraph, ReadGraphError> {
     // Encoded graphs are already deduplicated CSR dumps.
     b.dedup(false).drop_self_loops(false);
     for _ in 0..m {
-        let src = data.get_u32_le();
-        let dst = data.get_u32_le();
-        let w = if weighted { data.get_f32_le() } else { 1.0 };
+        let src = data.get_u32_le()?;
+        let dst = data.get_u32_le()?;
+        let w = if weighted { data.get_f32_le()? } else { 1.0 };
         b.add_edge(VertexId::new(src), VertexId::new(dst), w);
     }
     Ok(b.build())

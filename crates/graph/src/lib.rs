@@ -45,4 +45,5 @@ pub mod workloads;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, EdgeRef, OutEdges};
+pub use gp_sim::rng;
 pub use vertex::VertexId;

@@ -6,13 +6,11 @@
 //! paper relabels vertices so each slice is contiguous, which our generators
 //! already guarantee, so slicing reduces to choosing boundaries.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{CsrGraph, VertexId};
 
 /// A contiguous vertex range `[start, end)` resident on the accelerator at
 /// one time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Slice {
     /// First vertex (inclusive).
     pub start: VertexId,
@@ -52,7 +50,7 @@ impl Slice {
 }
 
 /// A partitioning of a graph into slices, with a vertex→slice lookup.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     slices: Vec<Slice>,
 }
@@ -130,17 +128,15 @@ impl Partition {
     ///
     /// Panics if `v` is beyond the partitioned range.
     pub fn slice_of(&self, v: VertexId) -> usize {
-        match self
-            .slices
-            .binary_search_by(|s| {
-                if v < s.start {
-                    std::cmp::Ordering::Greater
-                } else if v >= s.end {
-                    std::cmp::Ordering::Less
-                } else {
-                    std::cmp::Ordering::Equal
-                }
-            }) {
+        match self.slices.binary_search_by(|s| {
+            if v < s.start {
+                std::cmp::Ordering::Greater
+            } else if v >= s.end {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
             Ok(i) => i,
             Err(_) => panic!("{v} outside every slice"),
         }
@@ -160,6 +156,49 @@ impl Partition {
         }
         cut
     }
+}
+
+/// A seeded random permutation of `0..n`, for [`permute`].
+///
+/// Contiguous slicing concentrates a power-law graph's hubs (the
+/// low-numbered vertices of R-MAT/Barabási generators) into the first
+/// slice, which serializes shard-parallel execution: one shard carries
+/// almost all events while the rest sit parked. Relabeling with a random
+/// permutation spreads the hubs uniformly, so every slice carries a
+/// similar share of the event load.
+pub fn scatter_permutation(n: usize, seed: u64) -> Vec<u32> {
+    use crate::rng::Rng;
+    let mut rng = crate::rng::StdRng::seed_from_u64(seed);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    // Fisher–Yates.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..i + 1);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Relabels `graph` so old vertex `v` becomes `perm[v]`, preserving edges
+/// and weights. `perm` must be a permutation of `0..graph.num_vertices()`.
+///
+/// # Panics
+///
+/// Panics if `perm.len() != graph.num_vertices()`.
+pub fn permute(graph: &CsrGraph, perm: &[u32]) -> CsrGraph {
+    assert_eq!(
+        perm.len(),
+        graph.num_vertices(),
+        "permutation length must match the vertex count"
+    );
+    let mut b = crate::GraphBuilder::new(graph.num_vertices());
+    b.weighted(graph.is_weighted());
+    for v in graph.vertices() {
+        let src = VertexId::new(perm[v.index()]);
+        for e in graph.out_edges(v) {
+            b.add_edge(src, VertexId::new(perm[e.other.index()]), e.weight);
+        }
+    }
+    b.build()
 }
 
 #[cfg(test)]
@@ -194,7 +233,10 @@ mod tests {
         for v in g.vertices() {
             let i = p.slice_of(v);
             assert!(p.slices()[i].contains(v));
-            assert_eq!(p.slices()[i].local_index(v), (v.get() - p.slices()[i].start.get()) as usize);
+            assert_eq!(
+                p.slices()[i].local_index(v),
+                (v.get() - p.slices()[i].start.get()) as usize
+            );
         }
     }
 
@@ -214,6 +256,60 @@ mod tests {
         let cut = p.cut_edges(&g);
         assert!(cut > 0, "random graph should cut something");
         assert!(cut <= g.num_edges());
+    }
+
+    #[test]
+    fn permute_preserves_edges_and_weights() {
+        let g = erdos_renyi(60, 300, WeightMode::Uniform(1.0, 5.0), 4);
+        let perm = scatter_permutation(60, 9);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..60).collect::<Vec<u32>>(), "not a permutation");
+
+        let p = permute(&g, &perm);
+        assert_eq!(p.num_vertices(), g.num_vertices());
+        assert_eq!(p.num_edges(), g.num_edges());
+        assert!(p.is_weighted());
+        for v in g.vertices() {
+            let mut old: Vec<(u32, u32)> = g
+                .out_edges(v)
+                .map(|e| (perm[e.other.index()], e.weight.to_bits()))
+                .collect();
+            let mut new: Vec<(u32, u32)> = p
+                .out_edges(VertexId::new(perm[v.index()]))
+                .map(|e| (e.other.get(), e.weight.to_bits()))
+                .collect();
+            old.sort_unstable();
+            new.sort_unstable();
+            assert_eq!(old, new, "edge set changed for {v}");
+        }
+    }
+
+    #[test]
+    fn scatter_spreads_a_hub_graph_across_slices() {
+        // All edges out of vertex 0: contiguous slicing puts every edge in
+        // slice 0; after scattering, the hub lands in a random slice but
+        // the *in*-edges (the event load) spread with their targets.
+        let mut b = crate::GraphBuilder::new(64);
+        for d in 1..64u32 {
+            b.add_edge(VertexId::new(0), VertexId::new(d), 1.0);
+        }
+        let g = b.build();
+        let p = permute(&g, &scatter_permutation(64, 3));
+        let part = Partition::contiguous(&p, 16);
+        let loads: Vec<usize> = part
+            .slices()
+            .iter()
+            .map(|s| {
+                (s.start.get()..s.end.get())
+                    .map(|v| p.in_degree(VertexId::new(v)) as usize)
+                    .sum()
+            })
+            .collect();
+        assert!(
+            loads.iter().all(|&l| l > 0),
+            "a slice got no event load: {loads:?}"
+        );
     }
 
     #[test]

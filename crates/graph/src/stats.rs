@@ -1,11 +1,9 @@
 //! Graph-level statistics used to validate generators and size experiments.
 
-use serde::{Deserialize, Serialize};
-
 use crate::CsrGraph;
 
 /// Summary statistics of a graph's degree structure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphStats {
     /// Vertex count.
     pub vertices: usize,
@@ -46,7 +44,11 @@ impl GraphStats {
             if d_in == 0 {
                 sources += 1;
             }
-            let bucket = if d_out <= 1 { 0 } else { 32 - (d_out.leading_zeros() as usize) };
+            let bucket = if d_out <= 1 {
+                0
+            } else {
+                32 - (d_out.leading_zeros() as usize)
+            };
             hist[bucket] += 1;
         }
         while hist.len() > 1 && *hist.last().unwrap() == 0 {
@@ -55,7 +57,11 @@ impl GraphStats {
         GraphStats {
             vertices: n,
             edges: graph.num_edges(),
-            avg_out_degree: if n == 0 { 0.0 } else { graph.num_edges() as f64 / n as f64 },
+            avg_out_degree: if n == 0 {
+                0.0
+            } else {
+                graph.num_edges() as f64 / n as f64
+            },
             max_out_degree: max_out,
             max_in_degree: max_in,
             sinks,

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a vertex in a [`CsrGraph`](crate::CsrGraph).
 ///
 /// A newtype over `u32` (graphs of up to ~4.2 B vertices, well beyond what a
@@ -16,9 +14,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.index(), 7usize);
 /// assert_eq!(v.get(), 7u32);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VertexId(u32);
 
 impl VertexId {

@@ -4,14 +4,12 @@
 //! published sizes and synthesizes scaled stand-ins with matching average
 //! degree and skew (see `DESIGN.md` §3 for the substitution rationale).
 
-use serde::{Deserialize, Serialize};
-
 use crate::generators::{barabasi_albert, grid_2d, rmat, RmatConfig, WeightMode};
 use crate::CsrGraph;
 
 /// The five evaluation datasets of Table IV, plus a road-network profile
 /// used by the examples.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Workload {
     /// Google Web graph (WG): 0.87 M nodes, 5.10 M edges.
     WebGoogle,

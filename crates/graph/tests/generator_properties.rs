@@ -1,108 +1,136 @@
 //! Property tests over the graph substrate: every generator yields
 //! structurally valid CSR, partitions tile the vertex space, and both IO
 //! formats round-trip arbitrary graphs.
-
-use proptest::prelude::*;
+//!
+//! Randomized cases are driven by the workspace's deterministic
+//! [`gp_graph::rng::StdRng`], so every run exercises the same inputs.
 
 use gp_graph::generators::{
     barabasi_albert, erdos_renyi, grid_2d, rmat, watts_strogatz, RmatConfig, WeightMode,
 };
 use gp_graph::partition::Partition;
+use gp_graph::rng::{Rng, StdRng};
 use gp_graph::{io, CsrGraph, GraphBuilder, VertexId};
 
-fn arb_weight_mode() -> impl Strategy<Value = WeightMode> {
-    prop_oneof![
-        Just(WeightMode::Unweighted),
-        (0.1f32..10.0).prop_map(|lo| WeightMode::Uniform(lo, lo + 5.0)),
-    ]
+fn random_weight_mode(rng: &mut StdRng) -> WeightMode {
+    if rng.gen_bool(0.5) {
+        WeightMode::Unweighted
+    } else {
+        let lo = rng.gen_range(0.1f32..10.0);
+        WeightMode::Uniform(lo, lo + 5.0)
+    }
 }
 
-fn arb_generated() -> impl Strategy<Value = CsrGraph> {
-    (2usize..64, 0u64..u64::MAX, arb_weight_mode(), 0usize..5).prop_map(
-        |(n, seed, wm, kind)| match kind {
-            0 => erdos_renyi(n, n * 4, wm, seed),
-            1 => rmat(&RmatConfig::graph500(n, n * 4).with_weights(wm), seed),
-            2 => barabasi_albert(n.max(4), 2, wm, seed),
-            3 => watts_strogatz(n.max(4), 2, 0.3, wm, seed),
-            _ => {
-                let side = (n as f64).sqrt().ceil() as usize;
-                grid_2d(side, side, wm, seed)
-            }
-        },
-    )
+fn random_generated(rng: &mut StdRng) -> CsrGraph {
+    let n = rng.gen_range(2..64usize);
+    let seed = rng.next_u64();
+    let wm = random_weight_mode(rng);
+    match rng.gen_range(0..5u32) {
+        0 => erdos_renyi(n, n * 4, wm, seed),
+        1 => rmat(&RmatConfig::graph500(n, n * 4).with_weights(wm), seed),
+        2 => barabasi_albert(n.max(4), 2, wm, seed),
+        3 => watts_strogatz(n.max(4), 2, 0.3, wm, seed),
+        _ => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            grid_2d(side, side, wm, seed)
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn generators_always_satisfy_csr_invariants(g in arb_generated()) {
-        prop_assert!(g.check_invariants().is_ok());
+#[test]
+fn generators_always_satisfy_csr_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xC1);
+    for _ in 0..64 {
+        let g = random_generated(&mut rng);
+        assert!(g.check_invariants().is_ok());
         // Degree sums agree in both directions.
         let out_sum: u64 = g.vertices().map(|v| u64::from(g.out_degree(v))).sum();
         let in_sum: u64 = g.vertices().map(|v| u64::from(g.in_degree(v))).sum();
-        prop_assert_eq!(out_sum, g.num_edges() as u64);
-        prop_assert_eq!(in_sum, g.num_edges() as u64);
+        assert_eq!(out_sum, g.num_edges() as u64);
+        assert_eq!(in_sum, g.num_edges() as u64);
     }
+}
 
-    #[test]
-    fn out_edge_indexing_matches_iteration(g in arb_generated()) {
+#[test]
+fn out_edge_indexing_matches_iteration() {
+    let mut rng = StdRng::seed_from_u64(0xC2);
+    for _ in 0..64 {
+        let g = random_generated(&mut rng);
         for v in g.vertices() {
             for (i, e) in g.out_edges(v).enumerate() {
-                prop_assert_eq!(g.out_edge(v, i as u32), e);
+                assert_eq!(g.out_edge(v, i as u32), e);
             }
         }
     }
+}
 
-    #[test]
-    fn partitions_tile_exactly(g in arb_generated(), cap in 1usize..40) {
+#[test]
+fn partitions_tile_exactly() {
+    let mut rng = StdRng::seed_from_u64(0xC3);
+    for _ in 0..64 {
+        let g = random_generated(&mut rng);
+        let cap = rng.gen_range(1..40usize);
         let p = Partition::contiguous(&g, cap);
         let mut covered = 0usize;
         let mut cursor = 0u32;
         for s in p.slices() {
-            prop_assert_eq!(s.start.get(), cursor);
-            prop_assert!(s.len() <= cap);
-            prop_assert!(!s.is_empty());
+            assert_eq!(s.start.get(), cursor);
+            assert!(s.len() <= cap);
+            assert!(!s.is_empty());
             covered += s.len();
             cursor = s.end.get();
         }
-        prop_assert_eq!(covered, g.num_vertices());
+        assert_eq!(covered, g.num_vertices());
         // Every vertex maps back to the slice that contains it.
         for v in g.vertices() {
-            prop_assert!(p.slices()[p.slice_of(v)].contains(v));
+            assert!(p.slices()[p.slice_of(v)].contains(v));
         }
     }
+}
 
-    #[test]
-    fn binary_io_round_trips(g in arb_generated()) {
+#[test]
+fn binary_io_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xC4);
+    for _ in 0..64 {
+        let g = random_generated(&mut rng);
         let bytes = io::encode_binary(&g);
         let back = io::decode_binary(&bytes).unwrap();
-        prop_assert_eq!(g, back);
+        assert_eq!(g, back);
     }
+}
 
-    #[test]
-    fn text_io_round_trips_topology(g in arb_generated()) {
+#[test]
+fn text_io_round_trips_topology() {
+    let mut rng = StdRng::seed_from_u64(0xC5);
+    for _ in 0..64 {
+        let g = random_generated(&mut rng);
         let mut out = Vec::new();
         io::write_edge_list(&g, &mut out).unwrap();
         let back = io::read_edge_list(&out[..], Some(g.num_vertices())).unwrap();
-        prop_assert_eq!(g.num_vertices(), back.num_vertices());
-        prop_assert_eq!(g.num_edges(), back.num_edges());
+        assert_eq!(g.num_vertices(), back.num_vertices());
+        assert_eq!(g.num_edges(), back.num_edges());
         for v in g.vertices() {
-            prop_assert_eq!(g.out_neighbors(v), back.out_neighbors(v));
+            assert_eq!(g.out_neighbors(v), back.out_neighbors(v));
         }
     }
+}
 
-    #[test]
-    fn builder_is_idempotent_under_rebuild(g in arb_generated()) {
+#[test]
+fn builder_is_idempotent_under_rebuild() {
+    let mut rng = StdRng::seed_from_u64(0xC6);
+    for _ in 0..64 {
+        let g = random_generated(&mut rng);
         // Re-feeding a built graph's edges reproduces it exactly.
         let mut b = GraphBuilder::new(g.num_vertices());
-        b.weighted(g.is_weighted()).dedup(false).drop_self_loops(false);
+        b.weighted(g.is_weighted())
+            .dedup(false)
+            .drop_self_loops(false);
         for v in g.vertices() {
             for e in g.out_edges(v) {
                 b.add_edge(v, e.other, e.weight);
             }
         }
-        prop_assert_eq!(b.build(), g);
+        assert_eq!(b.build(), g);
     }
 }
 

@@ -1,14 +1,12 @@
 //! DRAM timing/geometry configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry and timing of the modeled DRAM, in accelerator clock cycles.
 ///
 /// Latency parameters follow DDR3-1600 (CL-RCD-RP ≈ 11-11-11 at 800 MHz,
 /// i.e. ~14 ns each) converted to a 1 GHz accelerator clock. The paper's
 /// configuration (Table III) is four channels of 17 GB/s each —
 /// [`DramConfig::paper`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
     /// Number of independent channels.
     pub channels: usize,

@@ -3,7 +3,6 @@
 use std::collections::VecDeque;
 
 use gp_sim::{Cycle, EventWheel};
-use serde::Serialize;
 
 use crate::{DramConfig, MemRequest, ReqId, TrafficClass, LINE_BYTES};
 
@@ -12,7 +11,7 @@ use crate::{DramConfig, MemRequest, ReqId, TrafficClass, LINE_BYTES};
 /// `accesses`/`bytes`/`useful_bytes` are indexed by
 /// [`TrafficClass::index`]; helpers expose totals. These counters are the
 /// raw data of Figs. 11 and 12.
-#[derive(Debug, Default, Clone, Serialize)]
+#[derive(Debug, Default, Clone)]
 pub struct MemStats {
     accesses: [u64; 6],
     bytes: [u64; 6],
@@ -78,6 +77,21 @@ impl MemStats {
         } else {
             self.row_hits as f64 / total as f64
         }
+    }
+
+    /// Accumulates `other` into `self` (used to fold per-shard memory
+    /// systems into one report in the parallel runner).
+    pub fn merge(&mut self, other: &MemStats) {
+        for i in 0..self.accesses.len() {
+            self.accesses[i] += other.accesses[i];
+            self.bytes[i] += other.bytes[i];
+            self.useful_bytes[i] += other.useful_bytes[i];
+        }
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.row_conflicts += other.row_conflicts;
+        self.rejections += other.rejections;
+        self.bus_busy_cycles += other.bus_busy_cycles;
     }
 }
 
@@ -298,7 +312,11 @@ impl MemorySystem {
 mod tests {
     use super::*;
 
-    fn run_until_complete(mem: &mut MemorySystem, start: Cycle, count: usize) -> Vec<(Cycle, MemRequest)> {
+    fn run_until_complete(
+        mem: &mut MemorySystem,
+        start: Cycle,
+        count: usize,
+    ) -> Vec<(Cycle, MemRequest)> {
         let mut done = Vec::new();
         let mut now = start;
         for _ in 0..1_000_000 {
@@ -347,8 +365,11 @@ mod tests {
         let mut mem2 = MemorySystem::new(cfg);
         mem2.request(Cycle::ZERO, MemRequest::read(0, 64, TrafficClass::Other))
             .unwrap();
-        mem2.request(Cycle::ZERO, MemRequest::read(stride, 64, TrafficClass::Other))
-            .unwrap();
+        mem2.request(
+            Cycle::ZERO,
+            MemRequest::read(stride, 64, TrafficClass::Other),
+        )
+        .unwrap();
         let done_conflict = run_until_complete(&mut mem2, Cycle::ZERO, 2);
         assert_eq!(mem2.stats().row_conflicts, 1);
         assert!(done_conflict[1].0 > done_hit[1].0);
@@ -380,7 +401,10 @@ mod tests {
         mem.request(Cycle::ZERO, MemRequest::read(64, 64, TrafficClass::Other))
             .unwrap();
         let done = run_until_complete(&mut mem, Cycle::ZERO, 2);
-        assert!(done[1].0 > done[0].0, "second transfer must wait for the bus");
+        assert!(
+            done[1].0 > done[0].0,
+            "second transfer must wait for the bus"
+        );
     }
 
     #[test]
@@ -431,9 +455,8 @@ mod tests {
         for i in 0..200u64 {
             // Submit in bursts; respect backpressure.
             let req = MemRequest::read(i * 24, 24, TrafficClass::Other);
-            match mem.request(now, req) {
-                Ok(id) => submitted.push(id),
-                Err(_) => {}
+            if let Ok(id) = mem.request(now, req) {
+                submitted.push(id);
             }
             mem.tick(now);
             while let Some(r) = mem.pop_completion(now) {

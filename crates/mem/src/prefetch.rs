@@ -19,7 +19,11 @@ use crate::{line_base, LINE_BYTES};
 /// ```
 pub fn lines_covering(addr: u64, bytes: u64) -> impl Iterator<Item = u64> {
     let first = line_base(addr);
-    let last = if bytes == 0 { first } else { line_base(addr + bytes - 1) };
+    let last = if bytes == 0 {
+        first
+    } else {
+        line_base(addr + bytes - 1)
+    };
     (first..=last).step_by(LINE_BYTES as usize)
 }
 

@@ -1,9 +1,7 @@
 //! Memory request descriptors.
 
-use serde::{Deserialize, Serialize};
-
 /// Unique identifier of an in-flight memory request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReqId(pub(crate) u64);
 
 impl ReqId {
@@ -18,7 +16,7 @@ impl ReqId {
 /// The paper's Figs. 11–14 break off-chip traffic down by purpose; the
 /// simulators tag every request so the harness can regenerate those
 /// breakdowns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrafficClass {
     /// Vertex property read.
     VertexRead,
@@ -75,7 +73,7 @@ impl TrafficClass {
 /// will actually consume (e.g. an 8-byte vertex property out of a 64-byte
 /// burst) and feeds the Fig. 12 utilization metric. It defaults to the full
 /// transfer size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemRequest {
     pub(crate) id: ReqId,
     addr: u64,

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// An absolute timestamp of the simulated clock, measured in cycles.
 ///
 /// `Cycle` is a newtype over `u64` so that cycle counts cannot be confused
@@ -19,9 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(done.get(), 14);
 /// assert_eq!(done - start, 4);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Cycle(u64);
 
 impl Cycle {

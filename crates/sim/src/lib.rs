@@ -37,6 +37,7 @@
 mod cycle;
 mod fifo;
 mod pipeline;
+pub mod rng;
 pub mod stats;
 mod wheel;
 

@@ -6,10 +6,16 @@
 //! [`Average`]s, bucketed [`Histogram`]s, and a per-unit
 //! [`StateTimeline`] that records how many cycles a hardware unit spent in
 //! each coarse state (the basis of the paper's Fig. 14 breakdown).
+//!
+//! For shard-parallel simulation the module also provides a thread-safe
+//! [`StatsRegistry`]: each worker accumulates into its own cheap
+//! [`ShardStats`] (no synchronization on the hot path) and the registry
+//! merges the shards at cycle-epoch barriers, so totals are deterministic
+//! regardless of how shards were scheduled onto threads.
 
+use std::collections::BTreeMap;
 use std::fmt;
-
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// A monotonically increasing event counter.
 ///
@@ -20,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// c.incr();
 /// assert_eq!(c.get(), 4);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -50,7 +56,7 @@ impl fmt::Display for Counter {
 }
 
 /// A running average of `f64` samples (mean, count, min, max).
-#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy)]
 pub struct Average {
     sum: f64,
     count: u64,
@@ -108,6 +114,22 @@ impl Average {
             self.max
         }
     }
+
+    /// Folds another average's samples into this one, as if every sample
+    /// had been recorded here directly.
+    pub fn merge(&mut self, other: &Average) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+    }
 }
 
 /// A histogram over fixed-width buckets with an overflow bucket.
@@ -123,7 +145,7 @@ impl Average {
 /// h.record(1_000);
 /// assert_eq!(h.bucket_counts(), &[1, 1, 0, 0, 1]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     bucket_width: u64,
     counts: Vec<u64>,
@@ -184,8 +206,15 @@ impl Histogram {
     ///
     /// Panics if shapes differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.bucket_width, other.bucket_width, "bucket width mismatch");
-        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "bucket width mismatch"
+        );
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -197,7 +226,7 @@ impl Histogram {
 ///
 /// The generic parameter is typically a small `enum` implementing `Into<usize>`
 /// indirectly via [`StateTimeline::add`]'s explicit index.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateTimeline {
     names: Vec<&'static str>,
     cycles: Vec<u64>,
@@ -252,6 +281,104 @@ impl StateTimeline {
         for (a, b) in self.cycles.iter_mut().zip(&other.cycles) {
             *a += b;
         }
+    }
+}
+
+/// A worker-local bundle of named counters.
+///
+/// Accumulation is plain (unsynchronized) integer arithmetic; the shard is
+/// handed to [`StatsRegistry::absorb`] at an epoch barrier. Counter names
+/// are `&'static str` and totals are keyed in a `BTreeMap`, so snapshots
+/// iterate in a deterministic order.
+#[derive(Debug, Default, Clone)]
+pub struct ShardStats {
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl ShardStats {
+    /// Creates an empty shard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to counter `name` (creating it at zero).
+    #[inline]
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counts.entry(name).or_insert(0) += n;
+    }
+
+    /// Increments counter `name` by one.
+    #[inline]
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current local value of `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Drains this shard into an empty one, returning the old contents.
+    pub fn take(&mut self) -> ShardStats {
+        std::mem::take(self)
+    }
+}
+
+/// A thread-safe registry of named counters for shard-parallel runs.
+///
+/// Workers never touch the registry on the hot path; they accumulate into a
+/// [`ShardStats`] and the epoch barrier calls [`StatsRegistry::absorb`].
+/// Because addition is commutative over `u64`, the merged totals are
+/// identical for any worker count or absorption order.
+///
+/// ```
+/// use gp_sim::stats::{ShardStats, StatsRegistry};
+/// let registry = StatsRegistry::new();
+/// let mut a = ShardStats::new();
+/// a.add("events", 3);
+/// let mut b = ShardStats::new();
+/// b.add("events", 4);
+/// registry.absorb(a);
+/// registry.absorb(b);
+/// assert_eq!(registry.get("events"), 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct StatsRegistry {
+    totals: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl StatsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges a worker shard into the global totals.
+    pub fn absorb(&self, shard: ShardStats) {
+        let mut totals = self.totals.lock().expect("stats registry poisoned");
+        for (name, n) in shard.counts {
+            *totals.entry(name).or_insert(0) += n;
+        }
+    }
+
+    /// Global value of `name` (0 if never reported).
+    pub fn get(&self, name: &str) -> u64 {
+        self.totals
+            .lock()
+            .expect("stats registry poisoned")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All `(name, total)` pairs in lexicographic name order.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.totals
+            .lock()
+            .expect("stats registry poisoned")
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
     }
 }
 

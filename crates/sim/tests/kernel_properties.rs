@@ -2,11 +2,13 @@
 //! models: the latency FIFO behaves like a timestamped `VecDeque`, the
 //! pipeline retires in issue order after exactly `depth` cycles, and the
 //! event wheel is a stable priority queue.
+//!
+//! Randomized cases are driven by the workspace's deterministic
+//! [`gp_sim::rng::StdRng`], so every run exercises the same inputs.
 
 use std::collections::VecDeque;
 
-use proptest::prelude::*;
-
+use gp_sim::rng::{Rng, StdRng};
 use gp_sim::{Cycle, EventWheel, Fifo, Pipeline};
 
 #[derive(Debug, Clone)]
@@ -16,33 +18,33 @@ enum FifoOp {
     Advance(u8),
 }
 
-fn arb_fifo_ops() -> impl Strategy<Value = Vec<FifoOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            any::<u16>().prop_map(FifoOp::Push),
-            Just(FifoOp::Pop),
-            (1u8..10).prop_map(FifoOp::Advance),
-        ],
-        1..200,
-    )
+fn random_fifo_ops(rng: &mut StdRng) -> Vec<FifoOp> {
+    let len = rng.gen_range(1..200usize);
+    (0..len)
+        .map(|_| match rng.gen_range(0..3u32) {
+            0 => FifoOp::Push(rng.gen_range(0..u64::from(u16::MAX) as u32 + 1) as u16),
+            1 => FifoOp::Pop,
+            _ => FifoOp::Advance(rng.gen_range(1..10u8)),
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn fifo_matches_reference_model(
-        ops in arb_fifo_ops(),
-        capacity in 1usize..16,
-        latency in 0u64..8,
-    ) {
+#[test]
+fn fifo_matches_reference_model() {
+    let mut rng = StdRng::seed_from_u64(0xF1F0);
+    for case in 0..200 {
+        let ops = random_fifo_ops(&mut rng);
+        let capacity = rng.gen_range(1..16usize);
+        let latency = rng.gen_range(0..8u64);
         let mut fifo = Fifo::new(capacity, latency);
         let mut model: VecDeque<(u64, u16)> = VecDeque::new();
         let mut now = Cycle::ZERO;
-        for op in ops {
-            match op {
+        for op in &ops {
+            match *op {
                 FifoOp::Push(v) => {
                     let accepted = fifo.push(now, v).is_ok();
                     let model_accepts = model.len() < capacity;
-                    prop_assert_eq!(accepted, model_accepts);
+                    assert_eq!(accepted, model_accepts, "case {case}");
                     if model_accepts {
                         model.push_back((now.get() + latency, v));
                     }
@@ -56,25 +58,29 @@ proptest! {
                         }
                         _ => None,
                     };
-                    prop_assert_eq!(got, expected);
+                    assert_eq!(got, expected, "case {case}");
                 }
                 FifoOp::Advance(d) => now += u64::from(d),
             }
-            prop_assert_eq!(fifo.len(), model.len());
-            prop_assert_eq!(fifo.is_empty(), model.is_empty());
+            assert_eq!(fifo.len(), model.len(), "case {case}");
+            assert_eq!(fifo.is_empty(), model.is_empty(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn pipeline_retires_in_order_after_depth(
-        gaps in proptest::collection::vec(1u64..5, 1..50),
-        depth in 1u64..8,
-    ) {
+#[test]
+fn pipeline_retires_in_order_after_depth() {
+    let mut rng = StdRng::seed_from_u64(0x9199);
+    for case in 0..200 {
+        let gaps: Vec<u64> = (0..rng.gen_range(1..50usize))
+            .map(|_| rng.gen_range(1..5u64))
+            .collect();
+        let depth = rng.gen_range(1..8u64);
         let mut p = Pipeline::new(depth);
         let mut now = Cycle::ZERO;
         let mut issued = Vec::new();
         for (i, gap) in gaps.iter().enumerate() {
-            prop_assert!(p.can_issue(now));
+            assert!(p.can_issue(now), "case {case}");
             p.issue(now, i);
             issued.push((now, i));
             now += *gap;
@@ -87,18 +93,27 @@ proptest! {
                 retired.push((t, v));
             }
             t = t.next();
-            prop_assert!(t.get() < 10_000, "pipeline livelock");
+            assert!(t.get() < 10_000, "pipeline livelock in case {case}");
         }
         for ((issue_t, a), (retire_t, b)) in issued.iter().zip(&retired) {
-            prop_assert_eq!(a, b);
-            prop_assert_eq!(retire_t.get(), issue_t.get() + depth);
+            assert_eq!(a, b, "case {case}");
+            assert_eq!(retire_t.get(), issue_t.get() + depth, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn wheel_pops_sorted_and_stable(
-        entries in proptest::collection::vec((0u64..100, any::<u16>()), 1..100),
-    ) {
+#[test]
+fn wheel_pops_sorted_and_stable() {
+    let mut rng = StdRng::seed_from_u64(0x8EE1);
+    for case in 0..200 {
+        let entries: Vec<(u64, u16)> = (0..rng.gen_range(1..100usize))
+            .map(|_| {
+                (
+                    rng.gen_range(0..100u64),
+                    rng.gen_range(0..u64::from(u16::MAX) as u32 + 1) as u16,
+                )
+            })
+            .collect();
         let mut wheel = EventWheel::new();
         for (t, v) in &entries {
             wheel.schedule(Cycle::new(*t), (*t, *v));
@@ -110,6 +125,6 @@ proptest! {
         while let Some(x) = wheel.pop_due(Cycle::NEVER) {
             got.push(x);
         }
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
 }

@@ -24,7 +24,11 @@ fn main() {
 
     // --- asynchronous: GraphPulse ---
     let mut config = AcceleratorConfig::optimized();
-    config.queue = QueueConfig { bins: 16, rows: 256, cols: 8 };
+    config.queue = QueueConfig {
+        bins: 16,
+        rows: 256,
+        cols: 8,
+    };
     let gp = GraphPulse::new(config).run(&graph, &algo).expect("gp run");
 
     // --- bulk-synchronous: Graphicionado model ---

@@ -19,7 +19,11 @@ fn main() {
     //    streams at 1 GHz, coalescing event queue, vertex prefetcher,
     //    4 × DDR3-17 GB/s. We shrink the queue so the example stays snappy.
     let mut config = AcceleratorConfig::optimized();
-    config.queue = QueueConfig { bins: 16, rows: 64, cols: 8 };
+    config.queue = QueueConfig {
+        bins: 16,
+        rows: 64,
+        cols: 8,
+    };
     let accel = GraphPulse::new(config);
 
     // 3. Run PageRank-Delta (Table II row 1) to convergence.

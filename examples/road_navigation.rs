@@ -24,7 +24,11 @@ fn main() {
     // Queue holds only 4096 intersections -> the 9216-vertex map needs
     // slicing (this is the §IV-F path).
     let mut config = AcceleratorConfig::optimized();
-    config.queue = QueueConfig { bins: 8, rows: 64, cols: 8 }; // 4096 slots
+    config.queue = QueueConfig {
+        bins: 8,
+        rows: 64,
+        cols: 8,
+    }; // 4096 slots
     let accel = GraphPulse::new(config);
 
     // --- shortest travel times from the depot ---

@@ -15,8 +15,8 @@
 use graphpulse::algorithms::{Adsorption, AdsorptionParams, PageRankDelta};
 use graphpulse::baselines::ligra::{apps, LigraConfig};
 use graphpulse::core::{AcceleratorConfig, GraphPulse, QueueConfig};
-use graphpulse::graph::workloads::Workload;
 use graphpulse::graph::generators::WeightMode;
+use graphpulse::graph::workloads::Workload;
 
 fn main() {
     // A 1/1024-scale Facebook-like social network (symmetric friendships).
@@ -24,7 +24,11 @@ fn main() {
     println!("social network: {network}");
 
     let mut config = AcceleratorConfig::optimized();
-    config.queue = QueueConfig { bins: 16, rows: 256, cols: 8 };
+    config.queue = QueueConfig {
+        bins: 16,
+        rows: 256,
+        cols: 8,
+    };
     let accel = GraphPulse::new(config);
 
     // --- 1. Influence ranking (PageRank-Delta) ---
@@ -72,6 +76,9 @@ fn main() {
     top.sort_by(|a, b| ranked.values[*b].total_cmp(&ranked.values[*a]));
     println!("\ntop influencers (rank, diffused label mass):");
     for &v in top.iter().take(5) {
-        println!("  v{v}: rank {:.4}, label {:.4}", ranked.values[v], labels.values[v]);
+        println!(
+            "  v{v}: rank {:.4}, label {:.4}",
+            ranked.values[v], labels.values[v]
+        );
     }
 }

@@ -13,8 +13,8 @@
 use std::process::ExitCode;
 
 use graphpulse::algorithms::{
-    normalize_inbound, Adsorption, AdsorptionParams, Bfs, ConnectedComponents, PageRankDelta,
-    Sssp, Sswp,
+    normalize_inbound, Adsorption, AdsorptionParams, Bfs, ConnectedComponents, PageRankDelta, Sssp,
+    Sswp,
 };
 use graphpulse::baselines::graphicionado::{self, GraphicionadoConfig};
 use graphpulse::baselines::ligra::{apps, LigraConfig};
@@ -87,7 +87,9 @@ fn parse_args() -> Result<Args, String> {
             "--graph" => args.graph_file = Some(val()?),
             "--seed" => args.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--root" => args.root = Some(val()?.parse().map_err(|e| format!("--root: {e}"))?),
-            "--threads" => args.threads = Some(val()?.parse().map_err(|e| format!("--threads: {e}"))?),
+            "--threads" => {
+                args.threads = Some(val()?.parse().map_err(|e| format!("--threads: {e}"))?)
+            }
             "--values" => args.values_out = Some(val()?),
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -109,7 +111,9 @@ fn load_graph(args: &Args, weighted: bool) -> Result<CsrGraph, String> {
     } else {
         WeightMode::Unweighted
     };
-    Ok(args.workload.synthesize_weighted(args.scale, mode, args.seed))
+    Ok(args
+        .workload
+        .synthesize_weighted(args.scale, mode, args.seed))
 }
 
 fn root_of(args: &Args, graph: &CsrGraph) -> VertexId {
@@ -205,9 +209,11 @@ fn run(args: &Args) -> Result<(Vec<f64>, f64, String), String> {
             let cfg = GraphicionadoConfig::default();
             let out = match args.app.as_str() {
                 "pr" => graphicionado::run(&graph, &PageRankDelta::new(0.85, 1e-7), &cfg),
-                "ads" => {
-                    graphicionado::run(&graph, &Adsorption::new(params.expect("params"), 1e-7), &cfg)
-                }
+                "ads" => graphicionado::run(
+                    &graph,
+                    &Adsorption::new(params.expect("params"), 1e-7),
+                    &cfg,
+                ),
                 "sssp" => graphicionado::run(&graph, &Sssp::new(root), &cfg),
                 "bfs" => graphicionado::run(&graph, &Bfs::new(root), &cfg),
                 "cc" => graphicionado::run(&graph, &ConnectedComponents::new(), &cfg),

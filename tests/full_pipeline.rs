@@ -14,7 +14,11 @@ use graphpulse::graph::VertexId;
 
 fn accel() -> GraphPulse {
     let mut cfg = AcceleratorConfig::small_test();
-    cfg.queue = QueueConfig { bins: 4, rows: 64, cols: 8 };
+    cfg.queue = QueueConfig {
+        bins: 4,
+        rows: 64,
+        cols: 8,
+    };
     GraphPulse::new(cfg)
 }
 
@@ -59,7 +63,9 @@ fn all_backends_agree_on_sssp_and_bfs() {
 fn all_backends_agree_on_cc_and_adsorption() {
     let g = Workload::Facebook.synthesize(16384, 9);
     let cc_golden = reference::cc_labels(&g);
-    let gp = accel().run(&g, &ConnectedComponents::new()).expect("accelerator");
+    let gp = accel()
+        .run(&g, &ConnectedComponents::new())
+        .expect("accelerator");
     let sw = apps::cc(&g, &LigraConfig::sequential());
     assert!(max_abs_diff(&gp.values, &cc_golden) < 1e-9);
     assert!(max_abs_diff(&sw.values, &cc_golden) < 1e-9);
@@ -90,17 +96,33 @@ fn sliced_and_unsliced_runs_agree() {
     let algo = PageRankDelta::new(0.85, 1e-7);
 
     let mut one_slice = AcceleratorConfig::small_test();
-    one_slice.queue = QueueConfig { bins: 4, rows: 256, cols: 8 }; // fits whole graph
-    let whole = GraphPulse::new(one_slice).run(&g, &algo).expect("whole run");
+    one_slice.queue = QueueConfig {
+        bins: 4,
+        rows: 256,
+        cols: 8,
+    }; // fits whole graph
+    let whole = GraphPulse::new(one_slice)
+        .run(&g, &algo)
+        .expect("whole run");
     assert_eq!(whole.report.slices, 1);
 
     let mut tiny_queue = AcceleratorConfig::small_test();
-    tiny_queue.queue = QueueConfig { bins: 4, rows: 4, cols: 8 }; // 128 slots
-    let sliced = GraphPulse::new(tiny_queue).run(&g, &algo).expect("sliced run");
+    tiny_queue.queue = QueueConfig {
+        bins: 4,
+        rows: 4,
+        cols: 8,
+    }; // 128 slots
+    let sliced = GraphPulse::new(tiny_queue)
+        .run(&g, &algo)
+        .expect("sliced run");
     assert!(sliced.report.slices > 1);
     assert!(sliced.report.events_spilled > 0);
     assert!(
-        sliced.report.memory.bytes(graphpulse::mem::TrafficClass::EventSpill) > 0,
+        sliced
+            .report
+            .memory
+            .bytes(graphpulse::mem::TrafficClass::EventSpill)
+            > 0,
         "spill traffic must be accounted"
     );
 

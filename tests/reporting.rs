@@ -10,7 +10,11 @@ use graphpulse::mem::TrafficClass;
 fn run() -> graphpulse::core::Outcome {
     let g = Workload::LiveJournal.synthesize(32768, 8);
     let mut cfg = AcceleratorConfig::small_test();
-    cfg.queue = QueueConfig { bins: 4, rows: 64, cols: 8 };
+    cfg.queue = QueueConfig {
+        bins: 4,
+        rows: 64,
+        cols: 8,
+    };
     GraphPulse::new(cfg)
         .run(&g, &PageRankDelta::new(0.85, 1e-6))
         .expect("run")
@@ -94,7 +98,11 @@ fn stage_averages_are_populated() {
 fn seconds_follow_the_configured_clock() {
     let g = Workload::WebGoogle.synthesize(8192, 2);
     let mut cfg = AcceleratorConfig::small_test();
-    cfg.queue = QueueConfig { bins: 4, rows: 64, cols: 8 };
+    cfg.queue = QueueConfig {
+        bins: 4,
+        rows: 64,
+        cols: 8,
+    };
     cfg.clock_ghz = 2.0;
     let out = GraphPulse::new(cfg)
         .run(&g, &PageRankDelta::new(0.85, 1e-6))

@@ -2,8 +2,10 @@
 //! accelerator model, the software baseline, and the golden references all
 //! compute the same fixpoints — for exact (min/max) algorithms bit-exactly,
 //! for accumulative ones within floating-point tolerance.
-
-use proptest::prelude::*;
+//!
+//! Randomized cases are driven by the workspace's deterministic
+//! [`graphpulse::graph::rng::StdRng`], so every run exercises the same
+//! inputs.
 
 use graphpulse::algorithms::{
     max_abs_diff, reference, Bfs, ConnectedComponents, PageRankDelta, Sssp,
@@ -11,56 +13,80 @@ use graphpulse::algorithms::{
 use graphpulse::baselines::ligra::{apps, LigraConfig};
 use graphpulse::core::{AcceleratorConfig, GraphPulse, QueueConfig};
 use graphpulse::graph::generators::{erdos_renyi, WeightMode};
+use graphpulse::graph::rng::{Rng, StdRng};
 use graphpulse::graph::{CsrGraph, VertexId};
 
-fn arb_graph() -> impl Strategy<Value = CsrGraph> {
-    (2usize..60, 0u64..u64::MAX)
-        .prop_map(|(n, seed)| erdos_renyi(n, n * 3, WeightMode::Uniform(1.0, 6.0), seed))
+fn random_graph(rng: &mut StdRng) -> CsrGraph {
+    let n = rng.gen_range(2..60usize);
+    let seed = rng.next_u64();
+    erdos_renyi(n, n * 3, WeightMode::Uniform(1.0, 6.0), seed)
 }
 
 fn accel() -> GraphPulse {
     let mut cfg = AcceleratorConfig::small_test();
-    cfg.queue = QueueConfig { bins: 2, rows: 8, cols: 8 }; // forces slicing on n > 128
+    cfg.queue = QueueConfig {
+        bins: 2,
+        rows: 8,
+        cols: 8,
+    }; // forces slicing on n > 128
     GraphPulse::new(cfg)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn accelerator_equals_dijkstra(g in arb_graph()) {
+#[test]
+fn accelerator_equals_dijkstra() {
+    let mut rng = StdRng::seed_from_u64(0x51);
+    for _ in 0..12 {
+        let g = random_graph(&mut rng);
         let out = accel().run(&g, &Sssp::new(VertexId::new(0))).expect("run");
         let golden = reference::sssp_dijkstra(&g, VertexId::new(0));
-        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-6);
+        assert!(max_abs_diff(&out.values, &golden) < 1e-6);
     }
+}
 
-    #[test]
-    fn accelerator_equals_bfs(g in arb_graph()) {
+#[test]
+fn accelerator_equals_bfs() {
+    let mut rng = StdRng::seed_from_u64(0x52);
+    for _ in 0..12 {
+        let g = random_graph(&mut rng);
         let out = accel().run(&g, &Bfs::new(VertexId::new(1))).expect("run");
         let golden = reference::bfs_levels(&g, VertexId::new(1));
-        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-9);
+        assert!(max_abs_diff(&out.values, &golden) < 1e-9);
     }
+}
 
-    #[test]
-    fn accelerator_equals_label_propagation(g in arb_graph()) {
+#[test]
+fn accelerator_equals_label_propagation() {
+    let mut rng = StdRng::seed_from_u64(0x53);
+    for _ in 0..12 {
+        let g = random_graph(&mut rng);
         let out = accel().run(&g, &ConnectedComponents::new()).expect("run");
         let golden = reference::cc_labels(&g);
-        prop_assert!(max_abs_diff(&out.values, &golden) < 1e-9);
+        assert!(max_abs_diff(&out.values, &golden) < 1e-9);
     }
+}
 
-    #[test]
-    fn accelerator_equals_ligra_on_pagerank(g in arb_graph()) {
-        let gp = accel().run(&g, &PageRankDelta::new(0.85, 1e-9)).expect("run");
+#[test]
+fn accelerator_equals_ligra_on_pagerank() {
+    let mut rng = StdRng::seed_from_u64(0x54);
+    for _ in 0..12 {
+        let g = random_graph(&mut rng);
+        let gp = accel()
+            .run(&g, &PageRankDelta::new(0.85, 1e-9))
+            .expect("run");
         let sw = apps::pagerank_delta(&g, 0.85, 1e-9, &LigraConfig::sequential());
-        prop_assert!(max_abs_diff(&gp.values, &sw.values) < 1e-4);
+        assert!(max_abs_diff(&gp.values, &sw.values) < 1e-4);
     }
+}
 
-    #[test]
-    fn report_invariants_hold_on_random_graphs(g in arb_graph()) {
+#[test]
+fn report_invariants_hold_on_random_graphs() {
+    let mut rng = StdRng::seed_from_u64(0x55);
+    for _ in 0..12 {
+        let g = random_graph(&mut rng);
         let out = accel().run(&g, &ConnectedComponents::new()).expect("run");
         let r = &out.report;
-        prop_assert_eq!(r.events_generated, r.events_processed + r.events_coalesced);
-        prop_assert!(r.memory.total_useful_bytes() <= r.memory.total_bytes());
-        prop_assert_eq!(r.total_lookahead().total(), r.events_processed);
+        assert_eq!(r.events_generated, r.events_processed + r.events_coalesced);
+        assert!(r.memory.total_useful_bytes() <= r.memory.total_bytes());
+        assert_eq!(r.total_lookahead().total(), r.events_processed);
     }
 }
