@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use gp_graph::rng::{Rng, StdRng};
 
-use gp_graph::{CsrGraph, EdgeRef, GraphBuilder, VertexId};
+use gp_graph::{CsrGraph, EdgeRef, GraphBuilder, GraphView, VertexId};
 
 use crate::DeltaAlgorithm;
 
@@ -163,7 +163,7 @@ impl DeltaAlgorithm for Adsorption {
         0.0
     }
 
-    fn initial_delta(&self, v: VertexId, _graph: &CsrGraph) -> Option<f64> {
+    fn initial_delta(&self, v: VertexId, _graph: &dyn GraphView) -> Option<f64> {
         Some(f64::from(self.params.beta(v)) * f64::from(self.params.injection(v)))
     }
 

@@ -1,6 +1,6 @@
 //! Breadth-First Search (level computation) in delta form.
 
-use gp_graph::{CsrGraph, EdgeRef, VertexId};
+use gp_graph::{EdgeRef, GraphView, VertexId};
 
 use crate::DeltaAlgorithm;
 
@@ -61,7 +61,7 @@ impl DeltaAlgorithm for Bfs {
         UNREACHED
     }
 
-    fn initial_delta(&self, v: VertexId, _graph: &CsrGraph) -> Option<u32> {
+    fn initial_delta(&self, v: VertexId, _graph: &dyn GraphView) -> Option<u32> {
         (v == self.root).then_some(0)
     }
 
@@ -101,6 +101,18 @@ impl DeltaAlgorithm for Bfs {
         } else {
             v as f64
         }
+    }
+}
+
+impl crate::IncrementalAlgorithm for Bfs {
+    /// Hop counts strictly grow along edges, so the support test is sound
+    /// (a cycle cannot hold its own level up).
+    fn strategy(&self) -> crate::SeedingStrategy {
+        crate::SeedingStrategy::Monotone(crate::Invalidation::SupportTest)
+    }
+
+    fn basis_of(&self, value: u32) -> u32 {
+        value
     }
 }
 

@@ -1,6 +1,6 @@
 //! Connected Components via max-label propagation, in delta form.
 
-use gp_graph::{CsrGraph, EdgeRef, VertexId};
+use gp_graph::{EdgeRef, GraphView, VertexId};
 
 use crate::DeltaAlgorithm;
 
@@ -51,7 +51,7 @@ impl DeltaAlgorithm for ConnectedComponents {
         -1
     }
 
-    fn initial_delta(&self, v: VertexId, _graph: &CsrGraph) -> Option<i64> {
+    fn initial_delta(&self, v: VertexId, _graph: &dyn GraphView) -> Option<i64> {
         Some(i64::from(v.get()))
     }
 
@@ -90,9 +90,23 @@ impl DeltaAlgorithm for ConnectedComponents {
     }
 }
 
+impl crate::IncrementalAlgorithm for ConnectedComponents {
+    /// Labels pass through edges unchanged, so a cycle of equal labels
+    /// self-supports and the support test would keep a stale component
+    /// label alive; deletions need the full reachability closure.
+    fn strategy(&self) -> crate::SeedingStrategy {
+        crate::SeedingStrategy::Monotone(crate::Invalidation::Reachability)
+    }
+
+    fn basis_of(&self, value: i64) -> i64 {
+        value
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gp_graph::CsrGraph;
 
     #[test]
     fn table_ii_semantics() {

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use gp_graph::{CsrGraph, EdgeRef, VertexId};
+use gp_graph::{EdgeRef, GraphView, VertexId};
 
 /// A graph algorithm in delta-accumulative form.
 ///
@@ -21,8 +21,9 @@ use gp_graph::{CsrGraph, EdgeRef, VertexId};
 ///   [`propagate`](DeltaAlgorithm::propagate) must distribute over it.
 ///   Floating-point operators satisfy this only up to rounding; backends may
 ///   therefore produce results differing by small tolerances.
-/// * **Simplification**: applying the [`identity_delta`]
-///   (DeltaAlgorithm::identity_delta) must leave vertex state unchanged, so
+/// * **Simplification**: applying the
+///   [`identity_delta`](DeltaAlgorithm::identity_delta) must leave vertex
+///   state unchanged, so
 ///   a vertex whose value did not change conveys nothing to its neighbors.
 ///
 /// These properties are what allow GraphPulse to coalesce in-flight events
@@ -54,7 +55,10 @@ pub trait DeltaAlgorithm: Send + Sync {
 
     /// The initial event seeded into the queue for `v`, or `None` when the
     /// vertex starts inactive.
-    fn initial_delta(&self, v: VertexId, graph: &CsrGraph) -> Option<Self::Delta>;
+    ///
+    /// Takes a [`GraphView`] trait object so the hook stays dispatchable
+    /// from both the static CSR and the streaming overlay.
+    fn initial_delta(&self, v: VertexId, graph: &dyn GraphView) -> Option<Self::Delta>;
 
     /// Applies a delta to a vertex state (`state ⊕ delta`).
     fn reduce(&self, value: Self::Value, delta: Self::Delta) -> Self::Value;

@@ -10,7 +10,7 @@
 //!   the execution order a BSP accelerator such as Graphicionado imposes.
 //!   Also reports per-round event counts, which back the Fig. 4 analysis.
 
-use gp_graph::{CsrGraph, VertexId};
+use gp_graph::{GraphView, VertexId};
 
 use crate::DeltaAlgorithm;
 
@@ -47,22 +47,67 @@ pub struct EngineOutput {
 /// let out = engine::run_sequential(&ConnectedComponents::new(), &g);
 /// assert_eq!(out.values, vec![2.0, 1.0, 2.0]);
 /// ```
-pub fn run_sequential<A: DeltaAlgorithm>(algo: &A, graph: &CsrGraph) -> EngineOutput {
-    let n = graph.num_vertices();
-    let mut values: Vec<A::Value> = (0..n)
+pub fn run_sequential<A: DeltaAlgorithm, G: GraphView>(algo: &A, graph: &G) -> EngineOutput {
+    let (mut values, seeds) = initial_state(algo, graph);
+    run_sequential_seeded(algo, graph, &mut values, &seeds)
+}
+
+/// The init vertex states and [`initial_delta`](DeltaAlgorithm::initial_delta)
+/// seed set of a cold start — the explicit-state inputs that make
+/// [`run_sequential_seeded`] reproduce [`run_sequential`] exactly. Warm
+/// starts (incremental recomputation) swap these for converged values and
+/// a computed seed plan.
+#[allow(clippy::type_complexity)]
+pub fn initial_state<A: DeltaAlgorithm, G: GraphView>(
+    algo: &A,
+    graph: &G,
+) -> (Vec<A::Value>, Vec<(VertexId, A::Delta)>) {
+    let values = (0..graph.num_vertices())
         .map(|v| algo.init_value(VertexId::from_index(v)))
         .collect();
+    let seeds = graph
+        .vertex_ids()
+        .filter_map(|v| algo.initial_delta(v, graph).map(|d| (v, d)))
+        .collect();
+    (values, seeds)
+}
+
+/// Runs `algo` from explicit state: `values` holds the warm-start vertex
+/// states (updated in place), `seeds` the initial events. This is the
+/// golden executor behind incremental recomputation — a full run is the
+/// special case of init values plus the
+/// [`initial_delta`](DeltaAlgorithm::initial_delta) seed set, which is
+/// exactly how [`run_sequential`] is implemented.
+///
+/// Duplicate seeds for one vertex are coalesced in worklist order.
+///
+/// # Panics
+///
+/// Panics if `values.len() != graph.num_vertices()` or a seed vertex is out
+/// of range.
+pub fn run_sequential_seeded<A: DeltaAlgorithm, G: GraphView>(
+    algo: &A,
+    graph: &G,
+    values: &mut [A::Value],
+    seeds: &[(VertexId, A::Delta)],
+) -> EngineOutput {
+    let n = graph.num_vertices();
+    assert_eq!(values.len(), n, "state length must match the vertex count");
     let mut pending: Vec<Option<A::Delta>> = vec![None; n];
     let mut worklist: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
 
     let mut events_generated = 0u64;
     let mut events_processed = 0u64;
 
-    for v in graph.vertices() {
-        if let Some(d) = algo.initial_delta(v, graph) {
-            pending[v.index()] = Some(d);
-            worklist.push_back(v.get());
-            events_generated += 1;
+    for &(v, d) in seeds {
+        events_generated += 1;
+        let slot = &mut pending[v.index()];
+        match slot {
+            Some(existing) => *existing = algo.coalesce(*existing, d),
+            None => {
+                *slot = Some(d);
+                worklist.push_back(v.get());
+            }
         }
     }
 
@@ -77,7 +122,8 @@ pub fn run_sequential<A: DeltaAlgorithm>(algo: &A, graph: &CsrGraph) -> EngineOu
         values[u.index()] = new;
         if let Some(basis) = algo.propagation_basis(old, new) {
             let degree = graph.out_degree(u);
-            for edge in graph.out_edges(u) {
+            for i in 0..degree {
+                let edge = graph.out_edge(u, i);
                 if let Some(d) = algo.propagate(basis, u, degree, edge) {
                     events_generated += 1;
                     let slot = &mut pending[edge.other.index()];
@@ -94,7 +140,7 @@ pub fn run_sequential<A: DeltaAlgorithm>(algo: &A, graph: &CsrGraph) -> EngineOu
     }
 
     EngineOutput {
-        values: values.into_iter().map(|v| algo.value_to_f64(v)).collect(),
+        values: values.iter().map(|&v| algo.value_to_f64(v)).collect(),
         events_processed,
         events_generated,
         rounds: 0,
@@ -117,9 +163,9 @@ pub struct BspRound {
 ///
 /// `max_rounds` bounds runaway configurations (returns early with partial
 /// values if exceeded).
-pub fn run_bsp<A: DeltaAlgorithm>(
+pub fn run_bsp<A: DeltaAlgorithm, G: GraphView>(
     algo: &A,
-    graph: &CsrGraph,
+    graph: &G,
     max_rounds: u64,
 ) -> (EngineOutput, Vec<BspRound>) {
     let n = graph.num_vertices();
@@ -131,7 +177,7 @@ pub fn run_bsp<A: DeltaAlgorithm>(
     let mut events_processed = 0u64;
     let mut rounds_log = Vec::new();
 
-    for v in graph.vertices() {
+    for v in graph.vertex_ids() {
         if let Some(d) = algo.initial_delta(v, graph) {
             current[v.index()] = Some(d);
             events_generated += 1;
@@ -157,7 +203,8 @@ pub fn run_bsp<A: DeltaAlgorithm>(
             values[u] = new;
             if let Some(basis) = algo.propagation_basis(old, new) {
                 let degree = graph.out_degree(uid);
-                for edge in graph.out_edges(uid) {
+                for i in 0..degree {
+                    let edge = graph.out_edge(uid, i);
                     if let Some(d) = algo.propagate(basis, uid, degree, edge) {
                         produced += 1;
                         events_generated += 1;

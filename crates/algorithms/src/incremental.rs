@@ -1,0 +1,560 @@
+//! Incremental recomputation rules for streaming edge updates.
+//!
+//! Given an algorithm's *converged* state on a graph and a batch of edge
+//! insertions/deletions, this module computes the **seed plan**: the
+//! smallest set of state resets and initial events from which the normal
+//! event-driven engines re-converge to the same values a from-scratch run
+//! on the mutated graph would produce. This is the payoff of the
+//! delta-accumulative form (§II-B): updates only perturb the affected
+//! frontier, so re-convergence is seeded there instead of restarting.
+//!
+//! Two seeding strategies cover the Table II algorithms:
+//!
+//! * [`SeedingStrategy::DeltaCorrection`] (PageRank-Delta): reduce is
+//!   invertible (`+`), so edge changes at a source `u` are repaired by
+//!   *correction events* — for every pre-batch out-edge, retract the share
+//!   `u` historically sent (`negate(propagate(...))` under the old degree),
+//!   and for every post-batch out-edge, grant the share under the new
+//!   degree. Targets whose net correction is non-zero become the dirty
+//!   frontier.
+//! * [`SeedingStrategy::Monotone`] (SSSP/BFS/CC/SSWP): reduce is a
+//!   selection (`min`/`max`) with no inverse, so deletions may strand
+//!   values that are no longer derivable. Stranded vertices are found by
+//!   *invalidation* (see [`Invalidation`]), reset to their init value, and
+//!   re-seeded from their surviving in-neighbors; insertions just seed the
+//!   propagated contribution at the new target.
+//!
+//! The two invalidation modes differ in how they prove a value stranded:
+//!
+//! * [`Invalidation::SupportTest`] — Ramalingam–Reps-style: a suspect is
+//!   kept only if no intact in-neighbor still *supports* its value
+//!   (re-derives it exactly). Sound only when propagation is strictly
+//!   worse-making along cycles (SSSP with positive weights, BFS), so a
+//!   cycle cannot support itself.
+//! * [`Invalidation::Reachability`] — conservative closure: everything
+//!   flow-consistently reachable from a suspect is invalidated, without
+//!   support checks. Required for CC and SSWP, where a cycle of equal
+//!   values *can* self-support under pass-through / min-capped propagation
+//!   and the support test would wrongly keep stale values alive.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use gp_graph::{AppliedBatch, EdgeRef, GraphView, VertexId};
+
+use crate::engine::{run_sequential_seeded, EngineOutput};
+use crate::DeltaAlgorithm;
+
+/// How stranded values are detected after edge deletions (monotone
+/// algorithms only). See the [module docs](self) for the soundness
+/// argument behind each mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invalidation {
+    /// Keep a suspect unless an intact in-neighbor re-derives its exact
+    /// value. Requires strictly worse-making propagation along cycles.
+    SupportTest,
+    /// Invalidate the whole flow-consistent closure of the suspects.
+    /// Conservative; sound for self-supporting-cycle algorithms.
+    Reachability,
+}
+
+/// Per-algorithm rule for turning an [`AppliedBatch`] into seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedingStrategy {
+    /// Invertible reduce: emit retract/grant correction events (PR-Delta).
+    DeltaCorrection,
+    /// Selective reduce: invalidate, reset, and re-seed from survivors.
+    Monotone(Invalidation),
+}
+
+/// A [`DeltaAlgorithm`] that supports incremental recomputation.
+///
+/// The extra hooks recover, from a *converged* vertex value, what the
+/// vertex has been telling its neighbors — which is what edge updates
+/// perturb.
+pub trait IncrementalAlgorithm: DeltaAlgorithm {
+    /// Which seeding rule applies to this algorithm.
+    fn strategy(&self) -> SeedingStrategy;
+
+    /// The propagation basis corresponding to a converged `value`: the
+    /// total a vertex holding `value` has propagated (delta-correction) or
+    /// would propagate to support a neighbor (monotone). For every Table
+    /// II algorithm this is the value itself.
+    fn basis_of(&self, value: Self::Value) -> Self::Delta;
+
+    /// Inverse of `delta` under [`coalesce`](DeltaAlgorithm::coalesce):
+    /// `coalesce(d, negate(d))` must be the identity. Only invoked for
+    /// [`SeedingStrategy::DeltaCorrection`]; the default (the identity
+    /// delta) suits monotone algorithms, which never retract.
+    fn negate(&self, _delta: Self::Delta) -> Self::Delta {
+        self.identity_delta()
+    }
+}
+
+/// Output of [`incremental_seeds`]: the events to inject and the vertices
+/// whose state was reset, both sorted by vertex id (deterministic).
+#[derive(Debug, Clone)]
+pub struct SeedPlan<D> {
+    /// One coalesced seed event per dirty vertex. Seeds that would not
+    /// change the vertex's state are already filtered out.
+    pub seeds: Vec<(VertexId, D)>,
+    /// Vertices reset to their init value (monotone deletions only).
+    pub invalidated: Vec<VertexId>,
+}
+
+impl<D> SeedPlan<D> {
+    /// Number of distinct vertices receiving a seed event.
+    pub fn dirty_vertices(&self) -> usize {
+        self.seeds.len()
+    }
+}
+
+/// Computes the seed plan for re-converging `values` after `batch`.
+///
+/// `graph` must be the **post-batch** topology (the overlay after
+/// [`OverlayGraph::apply`](gp_graph::OverlayGraph::apply)); `values` the
+/// state the algorithm had converged to **before** the batch. Invalidated
+/// entries of `values` are reset in place; feed the result straight into
+/// [`run_sequential_seeded`] (or the accelerator's seeded mode) to
+/// re-converge.
+///
+/// # Panics
+///
+/// Panics if `values.len() != graph.num_vertices()`.
+pub fn incremental_seeds<A: IncrementalAlgorithm, G: GraphView>(
+    algo: &A,
+    graph: &G,
+    values: &mut [A::Value],
+    batch: &AppliedBatch,
+) -> SeedPlan<A::Delta> {
+    assert_eq!(
+        values.len(),
+        graph.num_vertices(),
+        "state length must match the vertex count"
+    );
+    match algo.strategy() {
+        SeedingStrategy::DeltaCorrection => delta_correction_seeds(algo, graph, values, batch),
+        SeedingStrategy::Monotone(inv) => monotone_seeds(algo, graph, values, batch, inv),
+    }
+}
+
+/// Golden incremental re-convergence: seed plan + sequential seeded run.
+/// The reference every accelerator-backed incremental path is validated
+/// against (differentially, vs. a from-scratch run on the mutated graph).
+pub fn rerun_incremental<A: IncrementalAlgorithm, G: GraphView>(
+    algo: &A,
+    graph: &G,
+    values: &mut [A::Value],
+    batch: &AppliedBatch,
+) -> EngineOutput {
+    let plan = incremental_seeds(algo, graph, values, batch);
+    run_sequential_seeded(algo, graph, values, &plan.seeds)
+}
+
+fn coalesce_into<A: DeltaAlgorithm + ?Sized>(
+    algo: &A,
+    map: &mut BTreeMap<u32, A::Delta>,
+    t: VertexId,
+    d: A::Delta,
+) {
+    match map.entry(t.get()) {
+        std::collections::btree_map::Entry::Occupied(mut e) => {
+            let prev = *e.get();
+            *e.get_mut() = algo.coalesce(prev, d);
+        }
+        std::collections::btree_map::Entry::Vacant(e) => {
+            e.insert(d);
+        }
+    }
+}
+
+/// Drops seeds the reduce operator would ignore; what survives is exactly
+/// the dirty frontier.
+fn into_plan<A: DeltaAlgorithm>(
+    algo: &A,
+    values: &[A::Value],
+    seeds: BTreeMap<u32, A::Delta>,
+    invalidated: Vec<VertexId>,
+) -> SeedPlan<A::Delta> {
+    let seeds = seeds
+        .into_iter()
+        .map(|(t, d)| (VertexId::new(t), d))
+        .filter(|&(t, d)| algo.reduce(values[t.index()], d) != values[t.index()])
+        .collect();
+    SeedPlan { seeds, invalidated }
+}
+
+fn delta_correction_seeds<A: IncrementalAlgorithm, G: GraphView>(
+    algo: &A,
+    graph: &G,
+    values: &mut [A::Value],
+    batch: &AppliedBatch,
+) -> SeedPlan<A::Delta> {
+    let mut seeds: BTreeMap<u32, A::Delta> = BTreeMap::new();
+    for (u, old_edges) in &batch.old_out {
+        let basis = algo.basis_of(values[u.index()]);
+        // Retract what `u` sent under its old list and degree...
+        let old_deg = old_edges.len() as u32;
+        for &e in old_edges {
+            if let Some(share) = algo.propagate(basis, *u, old_deg, e) {
+                coalesce_into(algo, &mut seeds, e.other, algo.negate(share));
+            }
+        }
+        // ...and grant what it sends under the new ones. Unchanged targets
+        // still shift when the degree changes (the share is `α·v/deg`).
+        let new_deg = graph.out_degree(*u);
+        for i in 0..new_deg {
+            let e = graph.out_edge(*u, i);
+            if let Some(share) = algo.propagate(basis, *u, new_deg, e) {
+                coalesce_into(algo, &mut seeds, e.other, share);
+            }
+        }
+    }
+    into_plan(algo, values, seeds, Vec::new())
+}
+
+/// Pre-batch out-degree of `u` (every effectively touched source has its
+/// old list captured in the batch).
+fn old_degree(batch: &AppliedBatch, u: VertexId) -> Option<u32> {
+    batch
+        .old_out
+        .binary_search_by_key(&u.get(), |e| e.0.get())
+        .ok()
+        .map(|i| batch.old_out[i].1.len() as u32)
+}
+
+fn monotone_seeds<A: IncrementalAlgorithm, G: GraphView>(
+    algo: &A,
+    graph: &G,
+    values: &mut [A::Value],
+    batch: &AppliedBatch,
+    invalidation: Invalidation,
+) -> SeedPlan<A::Delta> {
+    // 1. Suspects: a deleted edge (u, t) strands t only if the value u
+    //    propagated along it reproduces t's current value.
+    let mut suspects: BTreeSet<u32> = BTreeSet::new();
+    for &(u, t, w) in &batch.deletes {
+        if values[t.index()] == algo.init_value(t) {
+            continue;
+        }
+        let old_deg = old_degree(batch, u).expect("deleted edge source has a captured old list");
+        let edge = EdgeRef {
+            other: t,
+            weight: w,
+        };
+        if let Some(c) = algo.propagate(algo.basis_of(values[u.index()]), u, old_deg, edge) {
+            if algo.reduce(algo.init_value(t), c) == values[t.index()] {
+                suspects.insert(t.get());
+            }
+        }
+    }
+
+    // 2. Close the suspect set into the invalidated set.
+    let invalid = match invalidation {
+        Invalidation::SupportTest => support_test_closure(algo, graph, values, &suspects),
+        Invalidation::Reachability => reachability_closure(algo, graph, values, &suspects),
+    };
+
+    // 3. Reset, then re-seed each invalidated vertex from its own initial
+    //    delta and from intact in-neighbors (post-batch adjacency, so
+    //    inserted edges into the region are covered here).
+    for &t in &invalid {
+        let t = VertexId::new(t);
+        values[t.index()] = algo.init_value(t);
+    }
+    let mut seeds: BTreeMap<u32, A::Delta> = BTreeMap::new();
+    for &t in &invalid {
+        let t = VertexId::new(t);
+        if let Some(d) = algo.initial_delta(t, graph) {
+            coalesce_into(algo, &mut seeds, t, d);
+        }
+        for i in 0..graph.in_degree(t) {
+            let e = graph.in_edge(t, i);
+            let s = e.other;
+            if invalid.contains(&s.get()) {
+                continue;
+            }
+            let se = EdgeRef {
+                other: t,
+                weight: e.weight,
+            };
+            if let Some(c) =
+                algo.propagate(algo.basis_of(values[s.index()]), s, graph.out_degree(s), se)
+            {
+                coalesce_into(algo, &mut seeds, t, c);
+            }
+        }
+    }
+
+    // 4. Insertions between intact vertices seed the propagated
+    //    contribution directly. (An invalidated source re-propagates over
+    //    all its out-edges when it re-converges; an invalidated target was
+    //    already re-seeded over all its in-edges above.)
+    for &(u, t, w) in &batch.inserts {
+        if invalid.contains(&u.get()) || invalid.contains(&t.get()) {
+            continue;
+        }
+        let edge = EdgeRef {
+            other: t,
+            weight: w,
+        };
+        if let Some(c) = algo.propagate(
+            algo.basis_of(values[u.index()]),
+            u,
+            graph.out_degree(u),
+            edge,
+        ) {
+            coalesce_into(algo, &mut seeds, t, c);
+        }
+    }
+
+    let invalidated = invalid.into_iter().map(VertexId::new).collect();
+    into_plan(algo, values, seeds, invalidated)
+}
+
+/// Whether some intact source (or the vertex's own initial delta) still
+/// re-derives `values[t]` exactly.
+fn is_supported<A: IncrementalAlgorithm, G: GraphView>(
+    algo: &A,
+    graph: &G,
+    values: &[A::Value],
+    invalid: &BTreeSet<u32>,
+    t: VertexId,
+) -> bool {
+    let init = algo.init_value(t);
+    if let Some(d) = algo.initial_delta(t, graph) {
+        if algo.reduce(init, d) == values[t.index()] {
+            return true;
+        }
+    }
+    for i in 0..graph.in_degree(t) {
+        let e = graph.in_edge(t, i);
+        let s = e.other;
+        if invalid.contains(&s.get()) {
+            continue;
+        }
+        let se = EdgeRef {
+            other: t,
+            weight: e.weight,
+        };
+        if let Some(c) =
+            algo.propagate(algo.basis_of(values[s.index()]), s, graph.out_degree(s), se)
+        {
+            if algo.reduce(init, c) == values[t.index()] {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn support_test_closure<A: IncrementalAlgorithm, G: GraphView>(
+    algo: &A,
+    graph: &G,
+    values: &[A::Value],
+    suspects: &BTreeSet<u32>,
+) -> BTreeSet<u32> {
+    let mut invalid: BTreeSet<u32> = BTreeSet::new();
+    let mut queue: VecDeque<u32> = suspects.iter().copied().collect();
+    let mut queued: BTreeSet<u32> = suspects.clone();
+    while let Some(t) = queue.pop_front() {
+        queued.remove(&t);
+        if invalid.contains(&t) {
+            continue;
+        }
+        let tid = VertexId::new(t);
+        if is_supported(algo, graph, values, &invalid, tid) {
+            continue;
+        }
+        invalid.insert(t);
+        // Every flow-consistent out-neighbor may have leaned on t; re-check
+        // it (a vertex cleared earlier can be re-suspected — each
+        // invalidation re-examines its dependents, so the loop reaches the
+        // greatest fixpoint of "supported").
+        let deg = graph.out_degree(tid);
+        let basis = algo.basis_of(values[tid.index()]);
+        for i in 0..deg {
+            let e = graph.out_edge(tid, i);
+            let w = e.other;
+            if invalid.contains(&w.get()) || values[w.index()] == algo.init_value(w) {
+                continue;
+            }
+            if let Some(c) = algo.propagate(basis, tid, deg, e) {
+                if algo.reduce(algo.init_value(w), c) == values[w.index()] && queued.insert(w.get())
+                {
+                    queue.push_back(w.get());
+                }
+            }
+        }
+    }
+    invalid
+}
+
+fn reachability_closure<A: IncrementalAlgorithm, G: GraphView>(
+    algo: &A,
+    graph: &G,
+    values: &[A::Value],
+    suspects: &BTreeSet<u32>,
+) -> BTreeSet<u32> {
+    let mut invalid: BTreeSet<u32> = suspects.clone();
+    let mut queue: VecDeque<u32> = suspects.iter().copied().collect();
+    while let Some(t) = queue.pop_front() {
+        let tid = VertexId::new(t);
+        let deg = graph.out_degree(tid);
+        let basis = algo.basis_of(values[tid.index()]);
+        for i in 0..deg {
+            let e = graph.out_edge(tid, i);
+            let w = e.other;
+            if invalid.contains(&w.get()) || values[w.index()] == algo.init_value(w) {
+                continue;
+            }
+            if let Some(c) = algo.propagate(basis, tid, deg, e) {
+                if algo.reduce(algo.init_value(w), c) == values[w.index()] {
+                    invalid.insert(w.get());
+                    queue.push_back(w.get());
+                }
+            }
+        }
+    }
+    invalid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{initial_state, run_sequential};
+    use crate::{Bfs, ConnectedComponents, PageRankDelta, Sssp, Sswp};
+    use gp_graph::generators::{erdos_renyi, WeightMode};
+    use gp_graph::rng::{Rng, StdRng};
+    use gp_graph::{EdgeUpdate, OverlayGraph};
+
+    fn random_batch(o: &OverlayGraph, rng: &mut StdRng, count: usize) -> Vec<EdgeUpdate> {
+        let n = o.base().num_vertices() as u32;
+        (0..count)
+            .map(|_| {
+                let src = VertexId::new(rng.gen_range(0..n));
+                let dst = VertexId::new(rng.gen_range(0..n));
+                if rng.gen_range(0..2u32) == 0 {
+                    EdgeUpdate::Delete { src, dst }
+                } else {
+                    EdgeUpdate::Insert {
+                        src,
+                        dst,
+                        weight: rng.gen_range(1.0..9.0f32),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Converge, mutate, re-converge incrementally; compare against a
+    /// from-scratch run on the mutated graph.
+    fn check<A: IncrementalAlgorithm>(algo: &A, weights: WeightMode, seed: u64, tol: f64) {
+        let g = erdos_renyi(80, 400, weights, seed);
+        let mut o = OverlayGraph::new(g);
+        let (mut values, seeds) = initial_state(algo, &o);
+        run_sequential_seeded(algo, &o, &mut values, &seeds);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        for round in 0..6 {
+            let updates = random_batch(&o, &mut rng, 12);
+            let batch = o.apply(&updates);
+            let inc = rerun_incremental(algo, &o, &mut values, &batch);
+            let scratch = run_sequential(algo, &o.to_csr());
+            assert!(
+                crate::max_abs_diff(&inc.values, &scratch.values) <= tol,
+                "{} diverged at round {round}: {:e} > {tol:e}",
+                algo.name(),
+                crate::max_abs_diff(&inc.values, &scratch.values)
+            );
+        }
+    }
+
+    #[test]
+    fn pagerank_incremental_matches_scratch() {
+        check(
+            &PageRankDelta::new(0.85, 1e-12),
+            WeightMode::Unweighted,
+            11,
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn sssp_incremental_matches_scratch() {
+        check(
+            &Sssp::new(VertexId::new(0)),
+            WeightMode::Uniform(1.0, 10.0),
+            12,
+            0.0,
+        );
+    }
+
+    #[test]
+    fn bfs_incremental_matches_scratch() {
+        check(&Bfs::new(VertexId::new(0)), WeightMode::Unweighted, 13, 0.0);
+    }
+
+    #[test]
+    fn cc_incremental_matches_scratch() {
+        check(&ConnectedComponents::new(), WeightMode::Unweighted, 14, 0.0);
+    }
+
+    #[test]
+    fn sswp_incremental_matches_scratch() {
+        check(
+            &Sswp::new(VertexId::new(0)),
+            WeightMode::Uniform(1.0, 10.0),
+            15,
+            0.0,
+        );
+    }
+
+    #[test]
+    fn empty_batch_seeds_nothing() {
+        let g = erdos_renyi(30, 120, WeightMode::Unweighted, 3);
+        let mut o = OverlayGraph::new(g);
+        let algo = ConnectedComponents::new();
+        let (mut values, seeds) = initial_state(&algo, &o);
+        run_sequential_seeded(&algo, &o, &mut values, &seeds);
+        let batch = o.apply(&[]);
+        let plan = incremental_seeds(&algo, &o, &mut values, &batch);
+        assert!(plan.seeds.is_empty());
+        assert!(plan.invalidated.is_empty());
+    }
+
+    /// The textbook CC failure mode for support-test invalidation: a cycle
+    /// of equal labels self-supports, so only the reachability closure
+    /// tears the stale component label down. This pins the strategy choice.
+    #[test]
+    fn cc_component_split_drops_stale_labels() {
+        // 0 -> 1 -> 2 -> 0 cycle fed by vertex 4 via 4 -> 0, plus an
+        // isolated edge 3 -> 4 keeping 4's label alive.
+        let mut b = gp_graph::GraphBuilder::new(5);
+        b.symmetric(true);
+        b.add_edge(VertexId::new(0), VertexId::new(1), 1.0);
+        b.add_edge(VertexId::new(1), VertexId::new(2), 1.0);
+        b.add_edge(VertexId::new(2), VertexId::new(0), 1.0);
+        b.add_edge(VertexId::new(4), VertexId::new(0), 1.0);
+        b.add_edge(VertexId::new(3), VertexId::new(4), 1.0);
+        let mut o = OverlayGraph::new(b.build());
+        let algo = ConnectedComponents::new();
+        let (mut values, seeds) = initial_state(&algo, &o);
+        run_sequential_seeded(&algo, &o, &mut values, &seeds);
+        // One component: everybody carries label 4.
+        assert!(values.iter().all(|&v| v == 4));
+        // Cut the cycle off: delete both directions of 4 <-> 0.
+        let batch = o.apply(&[
+            EdgeUpdate::Delete {
+                src: VertexId::new(4),
+                dst: VertexId::new(0),
+            },
+            EdgeUpdate::Delete {
+                src: VertexId::new(0),
+                dst: VertexId::new(4),
+            },
+        ]);
+        let inc = rerun_incremental(&algo, &o, &mut values, &batch);
+        let scratch = run_sequential(&algo, &o.to_csr());
+        assert_eq!(inc.values, scratch.values);
+        assert_eq!(inc.values[..3], [2.0, 2.0, 2.0], "cycle must relabel");
+    }
+}

@@ -15,7 +15,7 @@
 //! [`Adsorption`], [`Sssp`], [`Bfs`], [`ConnectedComponents`]), two software
 //! *golden* engines ([`engine::run_sequential`] — Algorithm 1 with a FIFO
 //! worklist, and [`engine::run_bsp`] — synchronous rounds), and classic
-//! [`reference`] implementations (power iteration, Dijkstra, level BFS,
+//! [`mod@reference`] implementations (power iteration, Dijkstra, level BFS,
 //! label propagation, Jacobi) used to validate every execution backend in
 //! the workspace.
 //!
@@ -42,6 +42,7 @@ mod bfs;
 mod cc;
 mod delta;
 pub mod engine;
+pub mod incremental;
 mod pagerank;
 pub mod reference;
 mod solver;
@@ -52,6 +53,9 @@ pub use adsorption::{normalize_inbound, Adsorption, AdsorptionParams};
 pub use bfs::Bfs;
 pub use cc::ConnectedComponents;
 pub use delta::DeltaAlgorithm;
+pub use incremental::{
+    incremental_seeds, IncrementalAlgorithm, Invalidation, SeedPlan, SeedingStrategy,
+};
 pub use pagerank::PageRankDelta;
 pub use solver::{scale_for_convergence, LinearSolver};
 pub use sssp::Sssp;

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use gp_graph::{CsrGraph, EdgeRef, VertexId};
+use gp_graph::{EdgeRef, GraphView, VertexId};
 
 use crate::DeltaAlgorithm;
 
@@ -107,7 +107,7 @@ impl DeltaAlgorithm for PageRankDelta {
         0.0
     }
 
-    fn initial_delta(&self, v: VertexId, _graph: &CsrGraph) -> Option<f64> {
+    fn initial_delta(&self, v: VertexId, _graph: &dyn GraphView) -> Option<f64> {
         match &self.sources {
             Some(mask) if !mask[v.index()] => None,
             _ => Some(1.0 - self.alpha),
@@ -155,9 +155,29 @@ impl DeltaAlgorithm for PageRankDelta {
     }
 }
 
+impl crate::IncrementalAlgorithm for PageRankDelta {
+    /// Rank mass is additive, so edge updates are repaired by retracting
+    /// the shares sent under the old adjacency and granting them under the
+    /// new one.
+    fn strategy(&self) -> crate::SeedingStrategy {
+        crate::SeedingStrategy::DeltaCorrection
+    }
+
+    /// A converged rank *is* the total mass the vertex has propagated
+    /// (modulo sub-threshold residue).
+    fn basis_of(&self, value: f64) -> f64 {
+        value
+    }
+
+    fn negate(&self, delta: f64) -> f64 {
+        -delta
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gp_graph::CsrGraph;
 
     #[test]
     fn table_ii_semantics() {

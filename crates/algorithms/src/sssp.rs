@@ -1,6 +1,6 @@
 //! Single-Source Shortest Paths in delta form.
 
-use gp_graph::{CsrGraph, EdgeRef, VertexId};
+use gp_graph::{EdgeRef, GraphView, VertexId};
 
 use crate::DeltaAlgorithm;
 
@@ -61,7 +61,7 @@ impl DeltaAlgorithm for Sssp {
         f64::INFINITY
     }
 
-    fn initial_delta(&self, v: VertexId, _graph: &CsrGraph) -> Option<f64> {
+    fn initial_delta(&self, v: VertexId, _graph: &dyn GraphView) -> Option<f64> {
         (v == self.root).then_some(0.0)
     }
 
@@ -100,9 +100,22 @@ impl DeltaAlgorithm for Sssp {
     }
 }
 
+impl crate::IncrementalAlgorithm for Sssp {
+    /// Positive weights make propagation strictly worse-making along any
+    /// cycle, so the per-vertex support test is sound for deletions.
+    fn strategy(&self) -> crate::SeedingStrategy {
+        crate::SeedingStrategy::Monotone(crate::Invalidation::SupportTest)
+    }
+
+    fn basis_of(&self, value: f64) -> f64 {
+        value
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gp_graph::CsrGraph;
 
     #[test]
     fn table_ii_semantics() {

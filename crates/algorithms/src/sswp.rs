@@ -1,6 +1,6 @@
 //! Single-Source Widest Path (maximum bottleneck capacity) in delta form.
 
-use gp_graph::{CsrGraph, EdgeRef, VertexId};
+use gp_graph::{EdgeRef, GraphView, VertexId};
 
 use crate::DeltaAlgorithm;
 
@@ -63,7 +63,7 @@ impl DeltaAlgorithm for Sswp {
         0.0
     }
 
-    fn initial_delta(&self, v: VertexId, _graph: &CsrGraph) -> Option<f64> {
+    fn initial_delta(&self, v: VertexId, _graph: &dyn GraphView) -> Option<f64> {
         (v == self.root).then_some(f64::INFINITY)
     }
 
@@ -95,6 +95,19 @@ impl DeltaAlgorithm for Sswp {
 
     fn value_to_f64(&self, v: f64) -> f64 {
         v
+    }
+}
+
+impl crate::IncrementalAlgorithm for Sswp {
+    /// Width is min-capped, not strictly decreased, along edges, so equal
+    /// widths around a cycle self-support — like CC, deletions need the
+    /// reachability closure.
+    fn strategy(&self) -> crate::SeedingStrategy {
+        crate::SeedingStrategy::Monotone(crate::Invalidation::Reachability)
+    }
+
+    fn basis_of(&self, value: f64) -> f64 {
+        value
     }
 }
 

@@ -8,7 +8,8 @@
 //! in `benches/` (see [`microbench`]) cover the hot paths behind each
 //! figure and the shard-parallel worker sweep.
 //!
-//! All binaries accept:
+//! All binaries accept the same reproducibility flags (see
+//! [`HarnessConfig::USAGE`], printed by `--help` on every binary):
 //!
 //! ```text
 //! --scale N        scale denominator vs. the published dataset sizes (default 256)
@@ -20,6 +21,11 @@
 //!                  worker threads (omit for the classic sequential engine;
 //!                  results are bit-identical for every W)
 //! --epoch-cycles E cycles between parallel-engine exchange barriers
+//! --vertices N     update-stream graph size (streaming binary, default 2^16)
+//! --batches B      update batches to stream (streaming binary, default 16)
+//! --batch-size U   edge updates per batch (streaming binary, default 256)
+//! --delete-frac F  deletion fraction of the update mix (streaming binary,
+//!                  default 0.3)
 //! ```
 
 #![forbid(unsafe_code)]
@@ -97,6 +103,15 @@ pub struct HarnessConfig {
     pub workers: Option<usize>,
     /// Override for the parallel engine's epoch length in cycles.
     pub epoch_cycles: Option<u64>,
+    /// Update-stream graph size (`--vertices`, streaming binary).
+    pub stream_vertices: usize,
+    /// Number of update batches to stream (`--batches`, streaming binary).
+    pub batches: usize,
+    /// Edge updates per batch (`--batch-size`, streaming binary).
+    pub batch_size: usize,
+    /// Deletion fraction of the update mix (`--delete-frac`, streaming
+    /// binary).
+    pub delete_fraction: f64,
 }
 
 impl Default for HarnessConfig {
@@ -109,13 +124,35 @@ impl Default for HarnessConfig {
             threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
             workers: None,
             epoch_cycles: None,
+            stream_vertices: 1 << 16,
+            batches: 16,
+            batch_size: 256,
+            delete_fraction: 0.3,
         }
     }
 }
 
 impl HarnessConfig {
-    /// Parses `std::env::args()`-style arguments; unknown flags abort with
-    /// a usage message.
+    /// The flag reference every binary prints on `--help`.
+    pub const USAGE: &'static str = "\
+Common flags (every gp-bench binary):
+  --scale N        scale denominator vs. published dataset sizes (default 256)
+  --seed S         RNG seed (default 42)
+  --workloads W    comma list of WG,FB,WK,LJ,TW (default all)
+  --apps A         comma list of pr,ads,sssp,bfs,cc (default all)
+  --threads T      software-baseline threads (default: all cores)
+  --workers W      shard-parallel accelerator engine on W worker threads
+                   (omit for the sequential engine; results bit-identical)
+  --epoch-cycles E cycles between parallel-engine exchange barriers
+  --vertices N     update-stream graph size (streaming, default 65536)
+  --batches B      update batches to stream (streaming, default 16)
+  --batch-size U   edge updates per batch (streaming, default 256)
+  --delete-frac F  deletion fraction of the update mix (streaming, default 0.3)
+  --help           print this reference and exit";
+
+    /// Parses `std::env::args()`-style arguments. `--help` prints
+    /// [`HarnessConfig::USAGE`] and exits; unknown flags abort with the
+    /// same reference.
     pub fn from_args(args: impl Iterator<Item = String>) -> Self {
         let mut cfg = HarnessConfig::default();
         let mut args = args.peekable();
@@ -125,6 +162,10 @@ impl HarnessConfig {
                     .unwrap_or_else(|| panic!("flag {flag} needs a value"))
             };
             match flag.as_str() {
+                "--help" | "-h" => {
+                    println!("{}", Self::USAGE);
+                    std::process::exit(0);
+                }
                 "--scale" => cfg.scale = value().parse().expect("--scale takes an integer"),
                 "--seed" => cfg.seed = value().parse().expect("--seed takes an integer"),
                 "--threads" => cfg.threads = value().parse().expect("--threads takes an integer"),
@@ -134,6 +175,16 @@ impl HarnessConfig {
                 "--epoch-cycles" => {
                     cfg.epoch_cycles =
                         Some(value().parse().expect("--epoch-cycles takes an integer"));
+                }
+                "--vertices" => {
+                    cfg.stream_vertices = value().parse().expect("--vertices takes an integer");
+                }
+                "--batches" => cfg.batches = value().parse().expect("--batches takes an integer"),
+                "--batch-size" => {
+                    cfg.batch_size = value().parse().expect("--batch-size takes an integer");
+                }
+                "--delete-frac" => {
+                    cfg.delete_fraction = value().parse().expect("--delete-frac takes a number");
                 }
                 "--workloads" => {
                     cfg.workloads = value()
@@ -154,7 +205,10 @@ impl HarnessConfig {
                         .map(|a| App::parse(a).unwrap_or_else(|| panic!("unknown app {a}")))
                         .collect();
                 }
-                other => panic!("unknown flag {other}; see crate docs for usage"),
+                other => {
+                    eprintln!("{}", Self::USAGE);
+                    panic!("unknown flag {other}");
+                }
             }
         }
         cfg

@@ -151,8 +151,8 @@ pub struct AcceleratorConfig {
     pub scheduling: SchedulingPolicy,
     /// Hard safety cap on simulated cycles.
     pub max_cycles: u64,
-    /// Shard-parallel runner parameters (ignored by [`GraphPulse::run`]
-    /// (crate::GraphPulse::run)).
+    /// Shard-parallel runner parameters (ignored by
+    /// [`GraphPulse::run`](crate::GraphPulse::run)).
     pub parallel: ParallelConfig,
 }
 

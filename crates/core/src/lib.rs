@@ -54,6 +54,6 @@ mod queue;
 pub use config::{AcceleratorConfig, ParallelConfig, QueueConfig, SchedulingPolicy};
 pub use energy::{EnergyModel, EnergyReport};
 pub use event::{Event, EventMeta};
-pub use machine::{GraphPulse, Outcome, RunError};
+pub use machine::{GraphPulse, Outcome, RunError, SeededOutcome};
 pub use metrics::{ExecutionReport, LookaheadBuckets, RoundMetrics, StageAverages};
-pub use parallel::ParallelOutcome;
+pub use parallel::{ParallelOutcome, ParallelSeededOutcome};

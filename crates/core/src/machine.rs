@@ -7,7 +7,7 @@ use std::fmt;
 
 use gp_algorithms::DeltaAlgorithm;
 use gp_graph::partition::Partition;
-use gp_graph::{CsrGraph, VertexId};
+use gp_graph::{GraphView, VertexId};
 use gp_mem::{line_base, MemRequest, MemStats, MemorySystem, TrafficClass, LINE_BYTES};
 use gp_sim::stats::{ShardStats, StateTimeline};
 use gp_sim::Cycle;
@@ -85,13 +85,62 @@ impl GraphPulse {
     /// [`RunError::InvalidConfig`] if the configuration is inconsistent,
     /// [`RunError::CycleLimit`] if the simulation exceeds
     /// `config.max_cycles`.
-    pub fn run<A: DeltaAlgorithm>(&self, graph: &CsrGraph, algo: &A) -> Result<Outcome, RunError> {
+    pub fn run<A: DeltaAlgorithm, G: GraphView>(
+        &self,
+        graph: &G,
+        algo: &A,
+    ) -> Result<Outcome, RunError> {
         self.config.validate().map_err(RunError::InvalidConfig)?;
         let mut machine = Machine::new(&self.config, graph, algo);
         machine.seed_initial_events();
         machine.run_to_completion()?;
         Ok(machine.into_outcome())
     }
+
+    /// Runs `algo` from explicit warm-start state: `values` holds the
+    /// per-vertex states to resume from and `seeds` the events injected
+    /// into the queue instead of the cold-start
+    /// [`initial_delta`](gp_algorithms::DeltaAlgorithm::initial_delta)
+    /// sweep. This is the accelerator-model backend for incremental
+    /// recomputation over streaming graph updates: a full run is the
+    /// special case of init values plus the initial-delta seed set.
+    ///
+    /// Returns typed values (not the `f64` projection) so a stream of
+    /// update batches can be re-fed without lossy round-trips.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GraphPulse::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != graph.num_vertices()` or a seed vertex
+    /// is out of range.
+    pub fn run_seeded<A: DeltaAlgorithm, G: GraphView>(
+        &self,
+        graph: &G,
+        algo: &A,
+        values: Vec<A::Value>,
+        seeds: &[(VertexId, A::Delta)],
+    ) -> Result<SeededOutcome<A::Value>, RunError> {
+        self.config.validate().map_err(RunError::InvalidConfig)?;
+        let mut machine = Machine::new(&self.config, graph, algo);
+        machine.set_values(values);
+        machine.seed_events(seeds);
+        machine.run_to_completion()?;
+        let (values, report) = machine.into_typed();
+        Ok(SeededOutcome { values, report })
+    }
+}
+
+/// Result of a warm-start ([`GraphPulse::run_seeded`]) run: typed vertex
+/// values plus the full measurement report.
+#[derive(Debug, Clone)]
+pub struct SeededOutcome<V> {
+    /// Final typed vertex values.
+    pub values: Vec<V>,
+    /// Everything measured during the run.
+    pub report: ExecutionReport,
 }
 
 /// Where a memory completion must be routed.
@@ -149,10 +198,10 @@ enum Phase<D> {
     Done,
 }
 
-pub(crate) struct Machine<'a, A: DeltaAlgorithm> {
+pub(crate) struct Machine<'a, A: DeltaAlgorithm, G: GraphView> {
     cfg: &'a AcceleratorConfig,
     algo: &'a A,
-    graph: &'a CsrGraph,
+    graph: &'a G,
     edge_bytes: u32,
     vertex_base: u64,
     edge_base: u64,
@@ -208,8 +257,8 @@ pub(crate) struct Machine<'a, A: DeltaAlgorithm> {
     ticks: u64,
 }
 
-impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
-    fn new(cfg: &'a AcceleratorConfig, graph: &'a CsrGraph, algo: &'a A) -> Self {
+impl<'a, A: DeltaAlgorithm, G: GraphView> Machine<'a, A, G> {
+    fn new(cfg: &'a AcceleratorConfig, graph: &'a G, algo: &'a A) -> Self {
         let partition = Partition::contiguous(graph, cfg.queue.capacity().max(1));
         Self::with_partition(cfg, graph, algo, partition, 0, false)
     }
@@ -219,7 +268,7 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
     /// barriers rather than spilled.
     pub(crate) fn new_shard(
         cfg: &'a AcceleratorConfig,
-        graph: &'a CsrGraph,
+        graph: &'a G,
         algo: &'a A,
         partition: Partition,
         shard: usize,
@@ -229,7 +278,7 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
 
     fn with_partition(
         cfg: &'a AcceleratorConfig,
-        graph: &'a CsrGraph,
+        graph: &'a G,
         algo: &'a A,
         partition: Partition,
         active_slice: usize,
@@ -243,7 +292,7 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
         };
         let vertex_base = 0u64;
         let edge_base = align_up(vertex_base + n as u64 * u64::from(cfg.vertex_bytes));
-        let spill_base = align_up(edge_base + graph.num_edges() as u64 * u64::from(edge_bytes));
+        let spill_base = align_up(edge_base + graph.edge_span() as u64 * u64::from(edge_bytes));
 
         let bins = (0..cfg.queue.bins)
             .map(|_| Bin::new(&cfg.queue, cfg.bin_input_depth, cfg.coalescer_depth))
@@ -349,7 +398,7 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
             self.phase = Phase::Done;
             return;
         }
-        for v in self.graph.vertices() {
+        for v in self.graph.vertex_ids() {
             let Some(delta) = self.algo.initial_delta(v, self.graph) else {
                 continue;
             };
@@ -364,6 +413,46 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
         }
         if self.total_occupancy() == 0 {
             // Active slice got nothing: behave like an empty first round.
+            self.phase = Phase::Quiesce;
+        }
+    }
+
+    /// Installs warm-start vertex state, replacing the init values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the vertex count.
+    pub(crate) fn set_values(&mut self, values: Vec<A::Value>) {
+        assert_eq!(
+            values.len(),
+            self.graph.num_vertices(),
+            "warm-start state length must match the vertex count"
+        );
+        self.values = values;
+    }
+
+    /// Injects explicit warm-start events instead of the cold-start
+    /// initial-delta sweep. In shard mode each shard receives the full
+    /// seed list and installs only the events targeting its resident
+    /// slice, so the union across shards covers the seed set exactly
+    /// once; in sliced single-machine mode, events for swapped-out
+    /// slices go to their spill queues like any cross-slice event.
+    pub(crate) fn seed_events(&mut self, seeds: &[(VertexId, A::Delta)]) {
+        if self.partition.is_empty() {
+            self.phase = Phase::Done;
+            return;
+        }
+        for &(v, delta) in seeds {
+            let slice = self.partition.slice_of(v);
+            if slice == self.active_slice {
+                self.events_generated += 1;
+                self.install_resident(Event::new(v, delta, 0));
+            } else if !self.shard_mode {
+                self.events_generated += 1;
+                self.spill[slice].push_back(Event::new(v, delta, 0));
+            }
+        }
+        if self.total_occupancy() == 0 {
             self.phase = Phase::Quiesce;
         }
     }
@@ -1174,6 +1263,18 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
     // ---- teardown ----
 
     fn into_outcome(self) -> Outcome {
+        let algo = self.algo;
+        let (values, report) = self.into_typed();
+        Outcome {
+            values: values.iter().map(|v| algo.value_to_f64(*v)).collect(),
+            report,
+        }
+    }
+
+    /// Tears the machine down into its typed vertex values plus the
+    /// execution report — the warm-start path keeps values typed so they
+    /// can seed the next incremental batch without an `f64` round-trip.
+    fn into_typed(self) -> (Vec<A::Value>, ExecutionReport) {
         let cycles = self.now.get();
         let seconds = self.cfg.cycles_to_seconds(cycles.max(1));
         let mut proc_timeline = StateTimeline::new(&PROC_STATES);
@@ -1216,11 +1317,7 @@ impl<'a, A: DeltaAlgorithm> Machine<'a, A> {
             edge_cache_misses: cache_misses,
             energy,
         };
-        let algo = self.algo;
-        Outcome {
-            values: self.values.iter().map(|v| algo.value_to_f64(*v)).collect(),
-            report,
-        }
+        (self.values, report)
     }
 }
 
@@ -1243,6 +1340,7 @@ mod tests {
     use gp_algorithms::engine::run_sequential;
     use gp_algorithms::{max_abs_diff, Bfs, ConnectedComponents, PageRankDelta, Sssp};
     use gp_graph::generators::{erdos_renyi, grid_2d, rmat, RmatConfig, WeightMode};
+    use gp_graph::CsrGraph;
 
     fn small_graph() -> CsrGraph {
         erdos_renyi(200, 1_000, WeightMode::Unweighted, 11)

@@ -4,7 +4,7 @@
 //! The graph is partitioned into contiguous *shards* with
 //! [`Partition::contiguous`]; each shard owns one permanently resident
 //! slice together with its own event queue, processors, generation units,
-//! and DRAM model — exactly the machine of [`crate::machine`], minus slice
+//! and DRAM model — exactly the sequential machine, minus slice
 //! swapping. Shards advance independently for
 //! [`ParallelConfig::epoch_cycles`](crate::ParallelConfig) simulated
 //! cycles, then meet at a barrier where cross-shard events are exchanged
@@ -33,7 +33,7 @@ use std::sync::Mutex;
 
 use gp_algorithms::DeltaAlgorithm;
 use gp_graph::partition::Partition;
-use gp_graph::CsrGraph;
+use gp_graph::{GraphView, VertexId};
 use gp_sim::stats::StatsRegistry;
 use gp_sim::Cycle;
 
@@ -66,6 +66,27 @@ pub struct ParallelOutcome {
     pub shard_ticks: Vec<u64>,
 }
 
+/// Result of a warm-start parallel run
+/// ([`GraphPulse::run_parallel_seeded`]): the [`ParallelOutcome`] fields
+/// with vertex values kept in the algorithm's typed representation so a
+/// stream of update batches can be re-fed without lossy `f64` round-trips.
+/// Carries the same bit-determinism guarantee across worker counts.
+#[derive(Debug, Clone)]
+pub struct ParallelSeededOutcome<V> {
+    /// Final typed vertex values (bit-identical across worker counts).
+    pub values: Vec<V>,
+    /// Merged measurement report; `cycles` is the slowest shard's clock.
+    pub report: ExecutionReport,
+    /// Snapshot of the epoch-merged [`StatsRegistry`] in name order.
+    pub stats: Vec<(&'static str, u64)>,
+    /// Number of epoch barriers executed.
+    pub epochs: u64,
+    /// Number of shards the graph was split into.
+    pub shards: usize,
+    /// Simulation ticks each shard executed.
+    pub shard_ticks: Vec<u64>,
+}
+
 impl GraphPulse {
     /// Runs `algo` on `graph` with the shard-parallel engine.
     ///
@@ -78,11 +99,59 @@ impl GraphPulse {
     /// [`RunError::InvalidConfig`] if the configuration is inconsistent or
     /// a forced shard count would overflow the event queue;
     /// [`RunError::CycleLimit`] if any shard exceeds `config.max_cycles`.
-    pub fn run_parallel<A: DeltaAlgorithm>(
+    pub fn run_parallel<A: DeltaAlgorithm, G: GraphView + Sync>(
         &self,
-        graph: &CsrGraph,
+        graph: &G,
         algo: &A,
     ) -> Result<ParallelOutcome, RunError> {
+        let out = self.run_parallel_inner(graph, algo, None)?;
+        Ok(ParallelOutcome {
+            values: out.values.iter().map(|&v| algo.value_to_f64(v)).collect(),
+            report: out.report,
+            stats: out.stats,
+            epochs: out.epochs,
+            shards: out.shards,
+            shard_ticks: out.shard_ticks,
+        })
+    }
+
+    /// Runs `algo` from explicit warm-start state with the shard-parallel
+    /// engine: `values` holds the per-vertex states to resume from and
+    /// `seeds` the events injected instead of the cold-start initial-delta
+    /// sweep. Every shard receives the full seed list and installs only
+    /// its resident vertices' events, so the seeding — like the epoch
+    /// exchange — is independent of the worker count and the determinism
+    /// guarantee of [`crate::parallel`] carries over unchanged to
+    /// incremental recomputation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GraphPulse::run_parallel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != graph.num_vertices()` or a seed vertex
+    /// is out of range.
+    pub fn run_parallel_seeded<A: DeltaAlgorithm, G: GraphView + Sync>(
+        &self,
+        graph: &G,
+        algo: &A,
+        values: Vec<A::Value>,
+        seeds: &[(VertexId, A::Delta)],
+    ) -> Result<ParallelSeededOutcome<A::Value>, RunError> {
+        self.run_parallel_inner(graph, algo, Some((values, seeds)))
+    }
+
+    /// Shared driver behind the cold-start and warm-start parallel paths;
+    /// `seed` selects between the per-shard initial-delta sweep (`None`)
+    /// and explicit warm-start state.
+    #[allow(clippy::type_complexity)]
+    fn run_parallel_inner<A: DeltaAlgorithm, G: GraphView + Sync>(
+        &self,
+        graph: &G,
+        algo: &A,
+        seed: Option<(Vec<A::Value>, &[(VertexId, A::Delta)])>,
+    ) -> Result<ParallelSeededOutcome<A::Value>, RunError> {
         let cfg = self.config();
         cfg.validate().map_err(RunError::InvalidConfig)?;
         let pc = cfg.parallel;
@@ -104,10 +173,12 @@ impl GraphPulse {
         let partition = Partition::contiguous(graph, per_slice);
         let shard_count = partition.len();
         if shard_count == 0 {
-            // Empty graph: the sequential path already handles it.
+            // Empty graph (zero vertices): the sequential path already
+            // handles it, and there are no typed values to carry.
             let out = self.run(graph, algo)?;
-            return Ok(ParallelOutcome {
-                values: out.values,
+            debug_assert!(out.values.is_empty());
+            return Ok(ParallelSeededOutcome {
+                values: Vec::new(),
                 report: out.report,
                 stats: Vec::new(),
                 epochs: 0,
@@ -116,11 +187,21 @@ impl GraphPulse {
             });
         }
 
-        let mut machines: Vec<Machine<'_, A>> = (0..shard_count)
+        let mut machines: Vec<Machine<'_, A, G>> = (0..shard_count)
             .map(|s| Machine::new_shard(cfg, graph, algo, partition.clone(), s))
             .collect();
-        for m in &mut machines {
-            m.seed_shard_events();
+        match &seed {
+            None => {
+                for m in &mut machines {
+                    m.seed_shard_events();
+                }
+            }
+            Some((values, seeds)) => {
+                for m in &mut machines {
+                    m.set_values(values.clone());
+                    m.seed_events(seeds);
+                }
+            }
         }
 
         let registry = StatsRegistry::new();
@@ -225,20 +306,19 @@ impl GraphPulse {
             registry.absorb(m.drain_epoch_stats());
         }
 
-        Ok(self.merge_outcome(graph, algo, machines, registry, epochs, shard_count))
+        Ok(self.merge_outcome(graph, machines, registry, epochs, shard_count))
     }
 
-    fn merge_outcome<A: DeltaAlgorithm>(
+    fn merge_outcome<A: DeltaAlgorithm, G: GraphView>(
         &self,
-        graph: &CsrGraph,
-        algo: &A,
-        machines: Vec<Machine<'_, A>>,
+        graph: &G,
+        machines: Vec<Machine<'_, A, G>>,
         registry: StatsRegistry,
         epochs: u64,
         shards: usize,
-    ) -> ParallelOutcome {
+    ) -> ParallelSeededOutcome<A::Value> {
         let cfg = self.config();
-        let mut values = vec![0.0f64; graph.num_vertices()];
+        let mut values: Vec<A::Value> = Vec::with_capacity(graph.num_vertices());
         let mut cycles = 0u64;
         let mut rounds = 0u64;
         let mut activations = 0u64;
@@ -259,9 +339,10 @@ impl GraphPulse {
         for machine in machines {
             let part = machine.into_shard_partial();
             shard_ticks.push(part.ticks);
-            for (i, v) in part.values.iter().enumerate() {
-                values[part.start + i] = algo.value_to_f64(*v);
-            }
+            // Shards are contiguous and visited in order, so their value
+            // slices concatenate to the full typed vector.
+            debug_assert_eq!(part.start, values.len());
+            values.extend(part.values);
             cycles = cycles.max(part.cycles);
             rounds = rounds.max(part.rounds);
             activations += part.activations;
@@ -329,7 +410,7 @@ impl GraphPulse {
             edge_cache_misses: cache_misses,
             energy,
         };
-        ParallelOutcome {
+        ParallelSeededOutcome {
             values,
             report,
             stats: registry.snapshot(),

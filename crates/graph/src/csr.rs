@@ -197,6 +197,23 @@ impl CsrGraph {
         }
     }
 
+    /// The `i`-th in-edge of `v` (CSR order). Constant time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= in_degree(v)`.
+    #[inline]
+    pub fn in_edge(&self, v: VertexId, i: u32) -> EdgeRef {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        let idx = lo + i as usize;
+        assert!(idx < hi, "in-edge index {i} out of range for {v}");
+        EdgeRef {
+            other: self.in_neighbors[idx],
+            weight: self.in_weights[idx],
+        }
+    }
+
     /// Global flat index of the first out-edge of `v`.
     ///
     /// The accelerator's memory model uses this to compute the DRAM address

@@ -7,10 +7,10 @@
 //!
 //! * [`rmat`] — recursive-matrix power-law graphs (Graph500 style), the
 //!   default stand-in for web/social graphs,
-//! * [`barabasi`] — preferential-attachment scale-free graphs,
+//! * [`barabasi_albert`] — preferential-attachment scale-free graphs,
 //! * [`erdos_renyi`] — uniform random graphs (G(n, m) variant),
-//! * [`small_world`] — Watts–Strogatz ring-rewiring graphs,
-//! * [`grid`] — 2-D lattices, a stand-in for road networks.
+//! * [`watts_strogatz`] — Watts–Strogatz ring-rewiring graphs,
+//! * [`grid_2d`] — 2-D lattices, a stand-in for road networks.
 
 mod barabasi;
 mod erdos_renyi;

@@ -14,6 +14,10 @@
 //!   synthesized at a configurable scale,
 //! * [`partition`] — contiguous slicing for graphs larger than the
 //!   accelerator's on-chip event queue (§IV-F),
+//! * [`GraphView`] — the read-only adjacency abstraction all execution
+//!   backends iterate through,
+//! * [`OverlayGraph`] — a mutable delta-overlay over the CSR for streaming
+//!   edge updates, with threshold-triggered compaction,
 //! * [`io`] — text and binary edge-list formats.
 //!
 //! # Examples
@@ -38,12 +42,16 @@ mod builder;
 mod csr;
 pub mod generators;
 pub mod io;
+mod overlay;
 pub mod partition;
 pub mod stats;
 mod vertex;
+mod view;
 pub mod workloads;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, EdgeRef, OutEdges};
 pub use gp_sim::rng;
+pub use overlay::{AppliedBatch, EdgeUpdate, OverlayGraph};
 pub use vertex::VertexId;
+pub use view::{GraphView, VertexIds};

@@ -1,0 +1,661 @@
+//! Mutable delta-overlay over a static CSR for streaming edge updates.
+//!
+//! [`OverlayGraph`] keeps a frozen [`CsrGraph`] base plus per-vertex
+//! *patched* adjacency lists for the vertices touched by edge insertions
+//! or deletions since the last compaction. A patched vertex's edge list
+//! lives in a log-structured pool addressed *past* the base CSR's edge
+//! array (a bump allocator hands out pool regions), which is how an
+//! accelerator would stage updates without rewriting the packed CSR:
+//! reads indirect through the patch table, writes append to the pool, and
+//! a threshold-triggered [`OverlayGraph::compact`] folds everything back
+//! into a fresh CSR.
+//!
+//! The overlay maintains both out- and in-adjacency so incremental
+//! recomputation can walk the *reverse* graph of the mutated topology
+//! (needed to re-derive a vertex's value from its in-neighbors after a
+//! deletion invalidates it).
+//!
+//! All iteration orders are deterministic: patch tables are `BTreeMap`s
+//! and patched lists stay sorted by neighbor id, matching the CSR's
+//! neighbor-sorted invariant from [`GraphBuilder`](crate::GraphBuilder).
+
+use std::collections::BTreeMap;
+
+use crate::view::GraphView;
+use crate::{CsrGraph, EdgeRef, GraphBuilder, VertexId};
+
+/// One edge mutation in an update stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeUpdate {
+    /// Insert `src -> dst` with `weight` (ignored if the edge exists).
+    Insert {
+        /// Source vertex.
+        src: VertexId,
+        /// Destination vertex.
+        dst: VertexId,
+        /// Edge weight (`1.0` for unweighted graphs).
+        weight: f32,
+    },
+    /// Delete `src -> dst` (ignored if the edge is absent).
+    Delete {
+        /// Source vertex.
+        src: VertexId,
+        /// Destination vertex.
+        dst: VertexId,
+    },
+}
+
+/// The **net** effect of a batch of [`EdgeUpdate`]s, as computed by
+/// [`OverlayGraph::apply`]: the per-edge difference between the pre-batch
+/// and post-batch adjacency. Intra-batch churn cancels — an edge deleted
+/// and re-inserted at the same weight within one batch appears in neither
+/// list, and an insert-then-delete leaves no trace. A weight change shows
+/// up as a delete (old weight) plus an insert (new weight).
+///
+/// Incremental seeding rules need the *pre-batch* out-lists of every
+/// net-changed source (degree changes redistribute PageRank shares;
+/// deleted edges start monotone invalidation), so `apply` captures them
+/// before mutating.
+#[derive(Debug, Clone, Default)]
+pub struct AppliedBatch {
+    /// Net insertions `(src, dst, weight)`: absent before the batch,
+    /// present after (at this weight). Sorted by `(src, dst)`.
+    pub inserts: Vec<(VertexId, VertexId, f32)>,
+    /// Net deletions `(src, dst, pre-batch weight)`: present before the
+    /// batch, absent (or re-weighted) after. Sorted by `(src, dst)`.
+    pub deletes: Vec<(VertexId, VertexId, f32)>,
+    /// Pre-batch out-edge lists of every source with a net change, sorted
+    /// by source id.
+    pub old_out: Vec<(VertexId, Vec<EdgeRef>)>,
+}
+
+impl AppliedBatch {
+    /// Whether the batch changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// A patched out-list: full replacement adjacency for one vertex, plus its
+/// bump-allocated region in the patch pool.
+#[derive(Debug, Clone)]
+struct PatchList {
+    /// Sorted by neighbor id, mirroring the CSR invariant.
+    edges: Vec<(u32, f32)>,
+    /// First edge slot of this list inside the patch pool.
+    base_addr: usize,
+    /// Slots reserved at `base_addr`; growing past it relocates the list.
+    cap: usize,
+}
+
+/// A mutable graph: static CSR base + adjacency patches for updated
+/// vertices. See the module-level docs above for the layout.
+#[derive(Debug, Clone)]
+pub struct OverlayGraph {
+    base: CsrGraph,
+    out_patch: BTreeMap<u32, PatchList>,
+    /// In-lists of vertices whose in-adjacency changed; `(src, weight)`
+    /// sorted by src. In-lists need no pool addresses (only the forward
+    /// edge array is walked by the generation streams).
+    in_patch: BTreeMap<u32, Vec<(u32, f32)>>,
+    /// Bump-allocator high-water mark of the patch pool, in edge slots.
+    pool_len: usize,
+    live_edges: usize,
+}
+
+impl OverlayGraph {
+    /// Wraps `base` with an empty overlay.
+    pub fn new(base: CsrGraph) -> Self {
+        let live_edges = base.num_edges();
+        OverlayGraph {
+            base,
+            out_patch: BTreeMap::new(),
+            in_patch: BTreeMap::new(),
+            pool_len: 0,
+            live_edges,
+        }
+    }
+
+    /// The underlying static CSR (stale for patched vertices).
+    pub fn base(&self) -> &CsrGraph {
+        &self.base
+    }
+
+    /// Number of vertices with a patched out-list.
+    pub fn patched_vertices(&self) -> usize {
+        self.out_patch.len()
+    }
+
+    /// Edge slots consumed by the patch pool since the last compaction.
+    pub fn pool_edge_slots(&self) -> usize {
+        self.pool_len
+    }
+
+    /// Pool pressure: pool slots as a fraction of the base edge count.
+    /// Drives threshold-triggered compaction.
+    pub fn pool_fraction(&self) -> f64 {
+        self.pool_len as f64 / self.base.num_edges().max(1) as f64
+    }
+
+    /// Whether edge `src -> dst` currently exists.
+    pub fn contains_edge(&self, src: VertexId, dst: VertexId) -> bool {
+        self.weight_of(src, dst).is_some()
+    }
+
+    /// Weight of edge `src -> dst`, or `None` if absent.
+    pub fn weight_of(&self, src: VertexId, dst: VertexId) -> Option<f32> {
+        match self.out_patch.get(&src.get()) {
+            Some(patch) => patch
+                .edges
+                .binary_search_by_key(&dst.get(), |&(n, _)| n)
+                .ok()
+                .map(|i| patch.edges[i].1),
+            None => {
+                let deg = self.base.out_degree(src);
+                (0..deg)
+                    .map(|i| self.base.out_edge(src, i))
+                    .find(|e| e.other == dst)
+                    .map(|e| e.weight)
+            }
+        }
+    }
+
+    /// Current out-edges of `v`, in neighbor-sorted order.
+    pub fn out_edges_vec(&self, v: VertexId) -> Vec<EdgeRef> {
+        match self.out_patch.get(&v.get()) {
+            Some(patch) => patch
+                .edges
+                .iter()
+                .map(|&(n, w)| EdgeRef {
+                    other: VertexId::new(n),
+                    weight: w,
+                })
+                .collect(),
+            None => self.base.out_edges(v).collect(),
+        }
+    }
+
+    /// Inserts edge `src -> dst`; returns `false` (and changes nothing) if
+    /// the edge already exists or is a self loop (the builder drops self
+    /// loops, so the overlay refuses to reintroduce them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn insert_edge(&mut self, src: VertexId, dst: VertexId, weight: f32) -> bool {
+        self.check_endpoints(src, dst);
+        if src == dst {
+            return false;
+        }
+        let patch = self.ensure_out_patch(src);
+        match patch.edges.binary_search_by_key(&dst.get(), |&(n, _)| n) {
+            Ok(_) => return false,
+            Err(at) => patch.edges.insert(at, (dst.get(), weight)),
+        }
+        self.realloc_if_grown(src);
+        let in_list = Self::ensure_in_patch(&self.base, &mut self.in_patch, dst);
+        let at = in_list
+            .binary_search_by_key(&src.get(), |&(n, _)| n)
+            .expect_err("out-list said the edge was absent");
+        in_list.insert(at, (src.get(), weight));
+        self.live_edges += 1;
+        true
+    }
+
+    /// Deletes edge `src -> dst`; returns the removed weight, or `None`
+    /// (changing nothing) if the edge is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn delete_edge(&mut self, src: VertexId, dst: VertexId) -> Option<f32> {
+        self.check_endpoints(src, dst);
+        let patch = self.ensure_out_patch(src);
+        let at = patch
+            .edges
+            .binary_search_by_key(&dst.get(), |&(n, _)| n)
+            .ok()?;
+        let (_, weight) = patch.edges.remove(at);
+        let in_list = Self::ensure_in_patch(&self.base, &mut self.in_patch, dst);
+        let at = in_list
+            .binary_search_by_key(&src.get(), |&(n, _)| n)
+            .expect("in-list out of sync with out-list");
+        in_list.remove(at);
+        self.live_edges -= 1;
+        Some(weight)
+    }
+
+    /// Applies a batch of updates in order and returns the **net**
+    /// adjacency diff (see [`AppliedBatch`]). No-op updates (inserting a
+    /// present edge, deleting an absent one, self loops) are skipped, and
+    /// intra-batch churn that cancels out — delete-then-reinsert at the
+    /// same weight, insert-then-delete — is not reported: seeding rules
+    /// must see only what actually changed between the pre- and post-batch
+    /// graphs.
+    pub fn apply(&mut self, updates: &[EdgeUpdate]) -> AppliedBatch {
+        let mut captured: BTreeMap<u32, Vec<EdgeRef>> = BTreeMap::new();
+        for &u in updates {
+            match u {
+                EdgeUpdate::Insert { src, dst, weight } => {
+                    if src == dst || self.contains_edge(src, dst) {
+                        continue;
+                    }
+                    captured
+                        .entry(src.get())
+                        .or_insert_with(|| self.out_edges_vec(src));
+                    let inserted = self.insert_edge(src, dst, weight);
+                    debug_assert!(inserted);
+                }
+                EdgeUpdate::Delete { src, dst } => {
+                    if !self.contains_edge(src, dst) {
+                        continue;
+                    }
+                    captured
+                        .entry(src.get())
+                        .or_insert_with(|| self.out_edges_vec(src));
+                    self.delete_edge(src, dst);
+                }
+            }
+        }
+
+        // Net effect per touched source: two-pointer diff of the
+        // neighbor-sorted pre- and post-batch lists.
+        let mut batch = AppliedBatch::default();
+        for (u, old) in captured {
+            let u = VertexId::new(u);
+            let new = self.out_edges_vec(u);
+            let mut changed = false;
+            let (mut i, mut j) = (0, 0);
+            while i < old.len() || j < new.len() {
+                match (old.get(i), new.get(j)) {
+                    (Some(o), Some(n)) if o.other == n.other => {
+                        if o.weight.to_bits() != n.weight.to_bits() {
+                            batch.deletes.push((u, o.other, o.weight));
+                            batch.inserts.push((u, n.other, n.weight));
+                            changed = true;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(o), Some(n)) if o.other < n.other => {
+                        batch.deletes.push((u, o.other, o.weight));
+                        changed = true;
+                        i += 1;
+                    }
+                    (Some(_), Some(n)) => {
+                        batch.inserts.push((u, n.other, n.weight));
+                        changed = true;
+                        j += 1;
+                    }
+                    (Some(o), None) => {
+                        batch.deletes.push((u, o.other, o.weight));
+                        changed = true;
+                        i += 1;
+                    }
+                    (None, Some(n)) => {
+                        batch.inserts.push((u, n.other, n.weight));
+                        changed = true;
+                        j += 1;
+                    }
+                    (None, None) => unreachable!("loop condition"),
+                }
+            }
+            if changed {
+                batch.old_out.push((u, old));
+            }
+        }
+        batch
+    }
+
+    /// Folds every patch back into a freshly built CSR base and resets the
+    /// pool. Values computed on the overlay remain valid: compaction only
+    /// changes the representation, never the edge set.
+    pub fn compact(&mut self) {
+        if self.out_patch.is_empty() {
+            self.pool_len = 0;
+            return;
+        }
+        self.base = self.to_csr();
+        self.out_patch.clear();
+        self.in_patch.clear();
+        self.pool_len = 0;
+        self.live_edges = self.base.num_edges();
+    }
+
+    /// Compacts when pool pressure reaches `max_pool_fraction` of the base
+    /// edge count; returns whether compaction ran.
+    pub fn maybe_compact(&mut self, max_pool_fraction: f64) -> bool {
+        if self.pool_fraction() >= max_pool_fraction && !self.out_patch.is_empty() {
+            self.compact();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Materializes the current (mutated) adjacency as a standalone CSR
+    /// without clearing the overlay — the "from scratch on the mutated
+    /// graph" side of differential tests.
+    pub fn to_csr(&self) -> CsrGraph {
+        let mut b = GraphBuilder::new(self.base.num_vertices());
+        b.weighted(self.base.is_weighted());
+        for v in self.base.vertices() {
+            match self.out_patch.get(&v.get()) {
+                Some(patch) => {
+                    for &(n, w) in &patch.edges {
+                        b.add_edge(v, VertexId::new(n), w);
+                    }
+                }
+                None => {
+                    for e in self.base.out_edges(v) {
+                        b.add_edge(v, e.other, e.weight);
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn check_endpoints(&self, src: VertexId, dst: VertexId) {
+        let n = self.base.num_vertices();
+        assert!(
+            src.index() < n && dst.index() < n,
+            "edge ({src}, {dst}) out of range for {n} vertices"
+        );
+    }
+
+    fn ensure_out_patch(&mut self, v: VertexId) -> &mut PatchList {
+        if !self.out_patch.contains_key(&v.get()) {
+            let edges: Vec<(u32, f32)> = self
+                .base
+                .out_edges(v)
+                .map(|e| (e.other.get(), e.weight))
+                .collect();
+            let cap = pool_region(edges.len());
+            let base_addr = self.pool_len;
+            self.pool_len += cap;
+            self.out_patch.insert(
+                v.get(),
+                PatchList {
+                    edges,
+                    base_addr,
+                    cap,
+                },
+            );
+        }
+        self.out_patch.get_mut(&v.get()).expect("just inserted")
+    }
+
+    /// Relocates `v`'s patched list to a fresh pool region if an insert
+    /// outgrew its reservation (log-structured append, old region leaks
+    /// until compaction).
+    fn realloc_if_grown(&mut self, v: VertexId) {
+        let pool_len = &mut self.pool_len;
+        let patch = self.out_patch.get_mut(&v.get()).expect("patched");
+        if patch.edges.len() > patch.cap {
+            patch.cap = pool_region(patch.edges.len());
+            patch.base_addr = *pool_len;
+            *pool_len += patch.cap;
+        }
+    }
+
+    fn ensure_in_patch<'a>(
+        base: &CsrGraph,
+        in_patch: &'a mut BTreeMap<u32, Vec<(u32, f32)>>,
+        v: VertexId,
+    ) -> &'a mut Vec<(u32, f32)> {
+        in_patch.entry(v.get()).or_insert_with(|| {
+            base.in_edges(v)
+                .map(|e| (e.other.get(), e.weight))
+                .collect()
+        })
+    }
+}
+
+/// Pool reservation for a list of `len` edges: next power of two, min 2,
+/// so repeated single-edge inserts amortize relocations.
+fn pool_region(len: usize) -> usize {
+    len.next_power_of_two().max(2)
+}
+
+impl GraphView for OverlayGraph {
+    fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.live_edges
+    }
+
+    fn edge_span(&self) -> usize {
+        self.base.num_edges() + self.pool_len
+    }
+
+    fn is_weighted(&self) -> bool {
+        self.base.is_weighted()
+    }
+
+    fn out_degree(&self, v: VertexId) -> u32 {
+        match self.out_patch.get(&v.get()) {
+            Some(patch) => patch.edges.len() as u32,
+            None => self.base.out_degree(v),
+        }
+    }
+
+    fn out_edge(&self, v: VertexId, i: u32) -> EdgeRef {
+        match self.out_patch.get(&v.get()) {
+            Some(patch) => {
+                let (n, w) = patch.edges[i as usize];
+                EdgeRef {
+                    other: VertexId::new(n),
+                    weight: w,
+                }
+            }
+            None => self.base.out_edge(v, i),
+        }
+    }
+
+    fn out_edge_base(&self, v: VertexId) -> usize {
+        match self.out_patch.get(&v.get()) {
+            Some(patch) => self.base.num_edges() + patch.base_addr,
+            None => self.base.out_edge_base(v),
+        }
+    }
+
+    fn in_degree(&self, v: VertexId) -> u32 {
+        match self.in_patch.get(&v.get()) {
+            Some(list) => list.len() as u32,
+            None => self.base.in_degree(v),
+        }
+    }
+
+    fn in_edge(&self, v: VertexId, i: u32) -> EdgeRef {
+        match self.in_patch.get(&v.get()) {
+            Some(list) => {
+                let (n, w) = list[i as usize];
+                EdgeRef {
+                    other: VertexId::new(n),
+                    weight: w,
+                }
+            }
+            None => self.base.in_edge(v, i),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{erdos_renyi, WeightMode};
+    use crate::rng::{Rng, StdRng};
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn base() -> CsrGraph {
+        erdos_renyi(40, 200, WeightMode::Uniform(1.0, 9.0), 17)
+    }
+
+    /// Collects (src, dst, weight-bits) over any view, sorted.
+    fn edge_set(g: &dyn GraphView) -> Vec<(u32, u32, u32)> {
+        let mut out = Vec::new();
+        for s in 0..g.num_vertices() as u32 {
+            for i in 0..g.out_degree(v(s)) {
+                let e = g.out_edge(v(s), i);
+                out.push((s, e.other.get(), e.weight.to_bits()));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn fresh_overlay_mirrors_base() {
+        let g = base();
+        let o = OverlayGraph::new(g.clone());
+        assert_eq!(edge_set(&o), edge_set(&g));
+        assert_eq!(GraphView::num_edges(&o), g.num_edges());
+        assert_eq!(o.edge_span(), g.num_edges());
+        assert_eq!(o.pool_edge_slots(), 0);
+    }
+
+    #[test]
+    fn insert_and_delete_round_trip() {
+        let mut o = OverlayGraph::new(base());
+        let before = edge_set(&o);
+        // Find an absent edge deterministically.
+        let (s, d) = (0..40u32)
+            .flat_map(|s| (0..40u32).map(move |d| (s, d)))
+            .find(|&(s, d)| s != d && !o.contains_edge(v(s), v(d)))
+            .expect("sparse graph has absent edges");
+        assert!(o.insert_edge(v(s), v(d), 3.5));
+        assert!(!o.insert_edge(v(s), v(d), 9.9), "duplicate insert");
+        assert_eq!(o.weight_of(v(s), v(d)), Some(3.5));
+        assert_eq!(o.delete_edge(v(s), v(d)), Some(3.5));
+        assert_eq!(o.delete_edge(v(s), v(d)), None, "double delete");
+        assert_eq!(edge_set(&o), before);
+    }
+
+    #[test]
+    fn self_loops_are_refused() {
+        let mut o = OverlayGraph::new(base());
+        let n = GraphView::num_edges(&o);
+        assert!(!o.insert_edge(v(3), v(3), 1.0));
+        assert_eq!(GraphView::num_edges(&o), n);
+    }
+
+    #[test]
+    fn overlay_matches_materialized_csr_after_random_updates() {
+        let g = base();
+        let mut o = OverlayGraph::new(g);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..300 {
+            let s = rng.gen_range(0..40u32);
+            let d = rng.gen_range(0..40u32);
+            if rng.gen_range(0..3u32) == 0 {
+                o.delete_edge(v(s), v(d));
+            } else {
+                o.insert_edge(v(s), v(d), rng.gen_range(1..10u32) as f32);
+            }
+        }
+        let snap = o.to_csr();
+        snap.check_invariants().unwrap();
+        assert_eq!(edge_set(&o), edge_set(&snap));
+        assert_eq!(GraphView::num_edges(&o), snap.num_edges());
+        // In-adjacency stays in sync with out-adjacency.
+        for d in 0..40u32 {
+            let mut via_in: Vec<(u32, u32)> = (0..GraphView::in_degree(&o, v(d)))
+                .map(|i| {
+                    let e = GraphView::in_edge(&o, v(d), i);
+                    (e.other.get(), e.weight.to_bits())
+                })
+                .collect();
+            let mut via_out: Vec<(u32, u32)> = snap
+                .in_edges(v(d))
+                .map(|e| (e.other.get(), e.weight.to_bits()))
+                .collect();
+            via_in.sort_unstable();
+            via_out.sort_unstable();
+            assert_eq!(via_in, via_out, "in-list out of sync at vertex {d}");
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_edges_and_resets_pool() {
+        let mut o = OverlayGraph::new(base());
+        for i in 0..15u32 {
+            o.insert_edge(v(i), v((i + 20) % 40), 2.0);
+        }
+        assert!(o.pool_edge_slots() > 0);
+        let before = edge_set(&o);
+        o.compact();
+        assert_eq!(edge_set(&o), before);
+        assert_eq!(o.pool_edge_slots(), 0);
+        assert_eq!(o.patched_vertices(), 0);
+        assert_eq!(o.base().num_edges(), before.len());
+    }
+
+    #[test]
+    fn maybe_compact_honors_threshold() {
+        let mut o = OverlayGraph::new(base());
+        o.insert_edge(v(0), v(39), 1.0);
+        assert!(!o.maybe_compact(10.0), "tiny pool must not compact");
+        assert!(o.maybe_compact(0.0), "zero threshold always compacts");
+        assert_eq!(o.pool_edge_slots(), 0);
+    }
+
+    #[test]
+    fn patched_lists_live_past_the_base_edge_array() {
+        let mut o = OverlayGraph::new(base());
+        let base_edges = o.base().num_edges();
+        o.insert_edge(v(7), v(31), 1.0);
+        assert!(GraphView::out_edge_base(&o, v(7)) >= base_edges);
+        assert!(o.edge_span() > base_edges);
+        // Untouched vertices keep their base addresses.
+        assert_eq!(
+            GraphView::out_edge_base(&o, v(8)),
+            o.base().out_edge_base(v(8))
+        );
+    }
+
+    #[test]
+    fn apply_reports_effective_updates_and_old_lists() {
+        let mut o = OverlayGraph::new(base());
+        let old_deg0 = GraphView::out_degree(&o, v(0));
+        let existing = o.base().out_edges(v(0)).next().expect("vertex 0 has edges");
+        let absent = (1..40u32)
+            .find(|&d| !o.contains_edge(v(0), v(d)))
+            .expect("absent edge");
+        let batch = o.apply(&[
+            EdgeUpdate::Insert {
+                src: v(0),
+                dst: v(absent),
+                weight: 4.0,
+            },
+            EdgeUpdate::Insert {
+                src: v(0),
+                dst: existing.other,
+                weight: 9.0,
+            }, // no-op
+            EdgeUpdate::Delete {
+                src: v(0),
+                dst: existing.other,
+            },
+            EdgeUpdate::Delete {
+                src: v(1),
+                dst: v(1),
+            }, // no-op (self loop can't exist)
+        ]);
+        assert_eq!(batch.inserts, vec![(v(0), v(absent), 4.0)]);
+        assert_eq!(batch.deletes.len(), 1);
+        assert_eq!(batch.deletes[0].0, v(0));
+        assert_eq!(batch.old_out.len(), 1);
+        assert_eq!(batch.old_out[0].0, v(0));
+        assert_eq!(batch.old_out[0].1.len(), old_deg0 as usize);
+        // Old list is pre-batch: it contains the deleted edge, not the
+        // inserted one.
+        assert!(batch.old_out[0].1.iter().any(|e| e.other == existing.other));
+        assert!(!batch.old_out[0].1.iter().any(|e| e.other == v(absent)));
+    }
+}

@@ -6,7 +6,7 @@
 //! paper relabels vertices so each slice is contiguous, which our generators
 //! already guarantee, so slicing reduces to choosing boundaries.
 
-use crate::{CsrGraph, VertexId};
+use crate::{CsrGraph, GraphView, VertexId};
 
 /// A contiguous vertex range `[start, end)` resident on the accelerator at
 /// one time.
@@ -64,7 +64,7 @@ impl Partition {
     /// # Panics
     ///
     /// Panics if `max_vertices_per_slice` is zero.
-    pub fn contiguous(graph: &CsrGraph, max_vertices_per_slice: usize) -> Self {
+    pub fn contiguous<G: GraphView + ?Sized>(graph: &G, max_vertices_per_slice: usize) -> Self {
         assert!(max_vertices_per_slice > 0, "slice capacity must be nonzero");
         let n = graph.num_vertices();
         if n == 0 {
@@ -98,7 +98,7 @@ impl Partition {
     }
 
     /// A single slice spanning the whole graph (no partitioning).
-    pub fn whole(graph: &CsrGraph) -> Self {
+    pub fn whole<G: GraphView + ?Sized>(graph: &G) -> Self {
         Partition {
             slices: vec![Slice {
                 start: VertexId::new(0),
@@ -143,12 +143,13 @@ impl Partition {
     }
 
     /// Number of edges crossing slice boundaries (inter-slice event traffic).
-    pub fn cut_edges(&self, graph: &CsrGraph) -> usize {
+    pub fn cut_edges<G: GraphView + ?Sized>(&self, graph: &G) -> usize {
         let mut cut = 0;
         for (i, slice) in self.slices.iter().enumerate() {
             for v in slice.start.get()..slice.end.get() {
-                for n in graph.out_neighbors(VertexId::new(v)) {
-                    if !self.slices[i].contains(*n) {
+                let v = VertexId::new(v);
+                for e in 0..graph.out_degree(v) {
+                    if !self.slices[i].contains(graph.out_edge(v, e).other) {
                         cut += 1;
                     }
                 }

@@ -1,0 +1,178 @@
+//! Read-only adjacency abstraction shared by the static CSR and the
+//! mutable streaming overlay.
+//!
+//! Every execution backend (the golden engines, the cycle-accurate
+//! accelerator, and the shard-parallel engine) iterates adjacency through
+//! this trait, so the same machinery runs on a frozen [`CsrGraph`] and on
+//! an [`OverlayGraph`](crate::OverlayGraph) carrying uncompacted edge
+//! updates. The trait is object-safe: algorithm hooks such as
+//! `DeltaAlgorithm::initial_delta` take `&dyn GraphView` so they stay
+//! dispatchable from any backend without growing a type parameter.
+
+use crate::{CsrGraph, EdgeRef, VertexId};
+
+/// Read-only view of a directed graph with out- and in-adjacency and
+/// optional `f32` edge weights.
+///
+/// Indexed access (`out_edge(v, i)`) mirrors how the accelerator's
+/// generation streams walk edge lists; iterator convenience comes from
+/// [`GraphView::vertex_ids`] plus per-edge index loops.
+pub trait GraphView {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of live directed edges.
+    fn num_edges(&self) -> usize;
+
+    /// Size of the flat edge address space, in edge slots.
+    ///
+    /// For a CSR this equals [`GraphView::num_edges`]. A log-structured
+    /// overlay may park patched edge lists past the base CSR, so its span
+    /// can exceed the live edge count; memory models size the edge region
+    /// from this value.
+    fn edge_span(&self) -> usize {
+        self.num_edges()
+    }
+
+    /// Whether the graph carries meaningful edge weights.
+    fn is_weighted(&self) -> bool;
+
+    /// Out-degree of `v`.
+    fn out_degree(&self, v: VertexId) -> u32;
+
+    /// The `i`-th out-edge of `v` (adjacency order). Constant time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= out_degree(v)`.
+    fn out_edge(&self, v: VertexId, i: u32) -> EdgeRef;
+
+    /// Global flat index of the first out-edge of `v`, within
+    /// [`GraphView::edge_span`]; used to compute DRAM addresses of edge
+    /// lists.
+    fn out_edge_base(&self, v: VertexId) -> usize;
+
+    /// In-degree of `v`.
+    fn in_degree(&self, v: VertexId) -> u32;
+
+    /// The `i`-th in-edge of `v` (adjacency order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= in_degree(v)`.
+    fn in_edge(&self, v: VertexId, i: u32) -> EdgeRef;
+
+    /// Iterator over all vertex ids.
+    fn vertex_ids(&self) -> VertexIds {
+        VertexIds {
+            next: 0,
+            end: self.num_vertices() as u32,
+        }
+    }
+}
+
+/// Iterator over the vertex ids of a [`GraphView`].
+#[derive(Debug, Clone)]
+pub struct VertexIds {
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for VertexIds {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        if self.next < self.end {
+            let v = VertexId::new(self.next);
+            self.next += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.end - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for VertexIds {}
+
+impl GraphView for CsrGraph {
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        CsrGraph::num_edges(self)
+    }
+
+    fn is_weighted(&self) -> bool {
+        CsrGraph::is_weighted(self)
+    }
+
+    fn out_degree(&self, v: VertexId) -> u32 {
+        CsrGraph::out_degree(self, v)
+    }
+
+    fn out_edge(&self, v: VertexId, i: u32) -> EdgeRef {
+        CsrGraph::out_edge(self, v, i)
+    }
+
+    fn out_edge_base(&self, v: VertexId) -> usize {
+        CsrGraph::out_edge_base(self, v)
+    }
+
+    fn in_degree(&self, v: VertexId) -> u32 {
+        CsrGraph::in_degree(self, v)
+    }
+
+    fn in_edge(&self, v: VertexId, i: u32) -> EdgeRef {
+        CsrGraph::in_edge(self, v, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn diamond() -> CsrGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(VertexId::new(0), VertexId::new(1), 1.0);
+        b.add_edge(VertexId::new(0), VertexId::new(2), 2.0);
+        b.add_edge(VertexId::new(1), VertexId::new(3), 3.0);
+        b.add_edge(VertexId::new(2), VertexId::new(3), 4.0);
+        b.weighted(true);
+        b.build()
+    }
+
+    #[test]
+    fn csr_view_matches_inherent_accessors() {
+        let g = diamond();
+        let view: &dyn GraphView = &g;
+        assert_eq!(view.num_vertices(), 4);
+        assert_eq!(view.num_edges(), 4);
+        assert_eq!(view.edge_span(), 4);
+        assert!(view.is_weighted());
+        for v in g.vertices() {
+            assert_eq!(view.out_degree(v), g.out_degree(v));
+            for i in 0..view.out_degree(v) {
+                assert_eq!(view.out_edge(v, i), g.out_edge(v, i));
+            }
+            assert_eq!(view.out_edge_base(v), g.out_edge_base(v));
+            assert_eq!(view.in_degree(v), g.in_degree(v));
+            for (i, e) in g.in_edges(v).enumerate() {
+                assert_eq!(view.in_edge(v, i as u32), e);
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_ids_covers_the_graph() {
+        let g = diamond();
+        let ids: Vec<u32> = GraphView::vertex_ids(&g).map(|v| v.get()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

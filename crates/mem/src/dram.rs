@@ -8,9 +8,9 @@ use crate::{DramConfig, MemRequest, ReqId, TrafficClass, LINE_BYTES};
 
 /// Aggregate off-chip traffic statistics.
 ///
-/// `accesses`/`bytes`/`useful_bytes` are indexed by
-/// [`TrafficClass::index`]; helpers expose totals. These counters are the
-/// raw data of Figs. 11 and 12.
+/// `accesses`/`bytes`/`useful_bytes` are indexed per [`TrafficClass`];
+/// helpers expose totals. These counters are the raw data of Figs. 11
+/// and 12.
 #[derive(Debug, Default, Clone)]
 pub struct MemStats {
     accesses: [u64; 6],

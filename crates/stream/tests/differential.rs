@@ -1,0 +1,291 @@
+//! Differential and property tests of the streaming-update subsystem.
+//!
+//! The invariant under test: after any stream of random insert/delete
+//! batches, the incremental engine's state equals what a from-scratch run
+//! on the mutated graph produces — for all five Table II algorithms, for
+//! every backend, and (for the shard-parallel backend) bit-identically
+//! across 1/2/4 workers.
+
+use gp_algorithms::engine::run_sequential;
+use gp_algorithms::{
+    max_abs_diff, Bfs, ConnectedComponents, IncrementalAlgorithm, PageRankDelta, Sssp, Sswp,
+};
+use gp_graph::generators::{rmat, RmatConfig, WeightMode};
+use gp_graph::{CsrGraph, VertexId};
+use gp_stream::{Backend, IncrementalEngine, StreamConfig, UpdateStream};
+use graphpulse_core::{AcceleratorConfig, QueueConfig};
+
+const VERTICES: usize = 128;
+const ROUNDS: usize = 4;
+const BATCH: usize = 24;
+
+/// PageRank re-converges along a different event order than a cold start,
+/// so residuals below the local threshold differ; the monotone algorithms
+/// reach the exact same fixpoint.
+const PR_TOL: f64 = 1e-4;
+
+fn base_graph(weights: WeightMode, seed: u64) -> CsrGraph {
+    rmat(
+        &RmatConfig::graph500(VERTICES, 8 * VERTICES).with_weights(weights),
+        seed,
+    )
+}
+
+/// A machine small enough that the test graph spans several shards.
+fn sharded_config(workers: usize) -> AcceleratorConfig {
+    let mut cfg = AcceleratorConfig::small_test();
+    cfg.queue = QueueConfig {
+        bins: 2,
+        rows: 4,
+        cols: 8,
+    }; // 64 slots per shard
+    cfg.input_buffer = 16;
+    cfg.parallel.workers = workers;
+    cfg.parallel.epoch_cycles = 64;
+    cfg
+}
+
+/// Drives `engine` through a deterministic update stream, checking after
+/// every batch that its values match a from-scratch golden run on the
+/// materialized (overlay-free) graph.
+fn check_against_scratch<A: IncrementalAlgorithm>(
+    mut engine: IncrementalEngine<A>,
+    weights: WeightMode,
+    tol: f64,
+    stream_seed: u64,
+) {
+    let mut stream = UpdateStream::new(VERTICES, 0.3, weights, stream_seed);
+    for round in 0..ROUNDS {
+        let batch = stream.next_batch(engine.graph(), BATCH);
+        let report = engine.apply_batch(&batch).expect("backend run failed");
+        assert!(
+            report.inserts + report.deletes > 0,
+            "round {round}: stream produced a fully-cancelling batch"
+        );
+        let scratch = run_sequential(engine.algo(), &engine.graph().to_csr());
+        let diff = max_abs_diff(&engine.values(), &scratch.values);
+        assert!(
+            diff <= tol,
+            "round {round}: incremental diverged from scratch by {diff:e}"
+        );
+    }
+}
+
+fn golden(compact: f64) -> StreamConfig {
+    StreamConfig::golden(compact)
+}
+
+fn accelerator() -> StreamConfig {
+    StreamConfig {
+        backend: Backend::Accelerator(Box::new(AcceleratorConfig::small_test())),
+        compact_fraction: 0.25,
+    }
+}
+
+fn parallel(workers: usize) -> StreamConfig {
+    StreamConfig {
+        backend: Backend::Parallel(Box::new(sharded_config(workers))),
+        compact_fraction: 0.25,
+    }
+}
+
+// ---- golden backend: incremental == scratch, all five algorithms ----
+
+#[test]
+fn golden_pagerank_tracks_scratch() {
+    let g = base_graph(WeightMode::Unweighted, 1);
+    let (engine, _) =
+        IncrementalEngine::new(PageRankDelta::new(0.85, 1e-9), g, golden(0.25)).unwrap();
+    check_against_scratch(engine, WeightMode::Unweighted, PR_TOL, 100);
+}
+
+#[test]
+fn golden_sssp_tracks_scratch() {
+    let w = WeightMode::Uniform(1.0, 9.0);
+    let (engine, _) =
+        IncrementalEngine::new(Sssp::new(VertexId::new(0)), base_graph(w, 2), golden(0.25))
+            .unwrap();
+    check_against_scratch(engine, w, 0.0, 101);
+}
+
+#[test]
+fn golden_bfs_tracks_scratch() {
+    let g = base_graph(WeightMode::Unweighted, 3);
+    let (engine, _) = IncrementalEngine::new(Bfs::new(VertexId::new(0)), g, golden(0.25)).unwrap();
+    check_against_scratch(engine, WeightMode::Unweighted, 0.0, 102);
+}
+
+#[test]
+fn golden_cc_tracks_scratch() {
+    let g = base_graph(WeightMode::Unweighted, 4);
+    let (engine, _) = IncrementalEngine::new(ConnectedComponents::new(), g, golden(0.25)).unwrap();
+    check_against_scratch(engine, WeightMode::Unweighted, 0.0, 103);
+}
+
+#[test]
+fn golden_sswp_tracks_scratch() {
+    let w = WeightMode::Uniform(1.0, 9.0);
+    let (engine, _) =
+        IncrementalEngine::new(Sswp::new(VertexId::new(0)), base_graph(w, 5), golden(0.25))
+            .unwrap();
+    check_against_scratch(engine, w, 0.0, 104);
+}
+
+// ---- accelerator backend: same invariant through the timing model ----
+
+#[test]
+fn accelerator_backend_pagerank_tracks_scratch() {
+    let g = base_graph(WeightMode::Unweighted, 6);
+    let (engine, _) =
+        IncrementalEngine::new(PageRankDelta::new(0.85, 1e-9), g, accelerator()).unwrap();
+    check_against_scratch(engine, WeightMode::Unweighted, PR_TOL, 105);
+}
+
+#[test]
+fn accelerator_backend_sssp_tracks_scratch() {
+    let w = WeightMode::Uniform(1.0, 9.0);
+    let (engine, _) =
+        IncrementalEngine::new(Sssp::new(VertexId::new(0)), base_graph(w, 7), accelerator())
+            .unwrap();
+    check_against_scratch(engine, w, 0.0, 106);
+}
+
+#[test]
+fn accelerator_backend_cc_tracks_scratch() {
+    let g = base_graph(WeightMode::Unweighted, 8);
+    let (engine, _) = IncrementalEngine::new(ConnectedComponents::new(), g, accelerator()).unwrap();
+    check_against_scratch(engine, WeightMode::Unweighted, 0.0, 107);
+}
+
+// ---- parallel backend: bit-identical across 1/2/4 workers ----
+
+/// Runs the same update stream through parallel-backend engines with 1, 2,
+/// and 4 workers and asserts every batch report and every value bit agree.
+fn check_worker_independence<A, F>(make: F, weights: WeightMode, stream_seed: u64)
+where
+    A: IncrementalAlgorithm,
+    F: Fn() -> A,
+{
+    let mut engines: Vec<IncrementalEngine<A>> = [1usize, 2, 4]
+        .iter()
+        .map(|&w| {
+            let g = base_graph(weights, 9);
+            IncrementalEngine::new(make(), g, parallel(w))
+                .expect("parallel run")
+                .0
+        })
+        .collect();
+    for round in 0..ROUNDS {
+        // One shared stream: batches must be identical, so draw against
+        // the first engine's graph (all graphs are identical by induction).
+        let mut stream = UpdateStream::new(VERTICES, 0.3, weights, stream_seed + round as u64);
+        let batch = stream.next_batch(engines[0].graph(), BATCH);
+        let reports: Vec<_> = engines
+            .iter_mut()
+            .map(|e| e.apply_batch(&batch).expect("parallel run"))
+            .collect();
+        assert_eq!(
+            reports[0], reports[1],
+            "1 vs 2 workers diverged (round {round})"
+        );
+        assert_eq!(
+            reports[0], reports[2],
+            "1 vs 4 workers diverged (round {round})"
+        );
+        let bits: Vec<Vec<u64>> = engines
+            .iter()
+            .map(|e| e.values().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        assert_eq!(
+            bits[0], bits[1],
+            "values differ 1 vs 2 workers (round {round})"
+        );
+        assert_eq!(
+            bits[0], bits[2],
+            "values differ 1 vs 4 workers (round {round})"
+        );
+    }
+}
+
+#[test]
+fn parallel_seeded_pagerank_bit_identical_across_workers() {
+    check_worker_independence(
+        || PageRankDelta::new(0.85, 1e-9),
+        WeightMode::Unweighted,
+        200,
+    );
+}
+
+#[test]
+fn parallel_seeded_sssp_bit_identical_across_workers() {
+    check_worker_independence(
+        || Sssp::new(VertexId::new(0)),
+        WeightMode::Uniform(1.0, 9.0),
+        201,
+    );
+}
+
+#[test]
+fn parallel_seeded_bfs_bit_identical_across_workers() {
+    check_worker_independence(|| Bfs::new(VertexId::new(0)), WeightMode::Unweighted, 202);
+}
+
+#[test]
+fn parallel_seeded_cc_bit_identical_across_workers() {
+    check_worker_independence(ConnectedComponents::new, WeightMode::Unweighted, 203);
+}
+
+#[test]
+fn parallel_seeded_sswp_bit_identical_across_workers() {
+    check_worker_independence(
+        || Sswp::new(VertexId::new(0)),
+        WeightMode::Uniform(1.0, 9.0),
+        204,
+    );
+}
+
+#[test]
+fn parallel_backend_sssp_tracks_scratch() {
+    let w = WeightMode::Uniform(1.0, 9.0);
+    let (engine, _) =
+        IncrementalEngine::new(Sssp::new(VertexId::new(0)), base_graph(w, 10), parallel(2))
+            .unwrap();
+    check_against_scratch(engine, w, 0.0, 205);
+}
+
+// ---- compaction invariance ----
+
+#[test]
+fn compaction_policy_does_not_change_results() {
+    let w = WeightMode::Uniform(1.0, 9.0);
+    let mk = |compact: f64| {
+        IncrementalEngine::new(
+            Sssp::new(VertexId::new(0)),
+            base_graph(w, 11),
+            golden(compact),
+        )
+        .unwrap()
+        .0
+    };
+    let mut eager = mk(0.0); // compacts after every mutating batch
+    let mut never = mk(f64::INFINITY);
+    let mut stream_a = UpdateStream::new(VERTICES, 0.3, w, 300);
+    let mut stream_b = UpdateStream::new(VERTICES, 0.3, w, 300);
+    for round in 0..ROUNDS {
+        let ba = stream_a.next_batch(eager.graph(), BATCH);
+        let bb = stream_b.next_batch(never.graph(), BATCH);
+        assert_eq!(ba, bb, "streams must agree (round {round})");
+        let ra = eager.apply_batch(&ba).expect("golden");
+        let rb = never.apply_batch(&bb).expect("golden");
+        assert!(ra.compacted, "eager engine must compact (round {round})");
+        assert!(!rb.compacted, "lazy engine must never compact");
+        assert_eq!(
+            eager.values(),
+            never.values(),
+            "compaction changed results (round {round})"
+        );
+    }
+    use gp_graph::GraphView;
+    assert_eq!(eager.graph().num_edges(), never.graph().num_edges());
+    assert_eq!(eager.graph().pool_edge_slots(), 0);
+}

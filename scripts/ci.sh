@@ -10,10 +10,17 @@ cargo fmt --all --check
 echo "== cargo clippy (warnings denied) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo build --release =="
 cargo build --workspace --release
 
 echo "== cargo test =="
 cargo test --workspace -q
+
+echo "== streaming smoke (tiny update stream) =="
+cargo run --release -q -p gp-bench --bin streaming -- \
+  --vertices 256 --batches 2 --batch-size 16
 
 echo "CI gate passed."

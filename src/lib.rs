@@ -12,4 +12,5 @@ pub use gp_baselines as baselines;
 pub use gp_graph as graph;
 pub use gp_mem as mem;
 pub use gp_sim as sim;
+pub use gp_stream as stream;
 pub use graphpulse_core as core;
