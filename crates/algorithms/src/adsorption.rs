@@ -197,6 +197,13 @@ impl DeltaAlgorithm for Adsorption {
     fn value_to_f64(&self, v: f64) -> f64 {
         v
     }
+
+    /// Label mass accumulates like PageRank's rank mass: each vertex may
+    /// retain up to `threshold` of unsent basis at termination, so backends
+    /// legitimately differ by a multiple of it.
+    fn comparison_tolerance(&self) -> f64 {
+        (self.threshold * 1e4).max(1e-9)
+    }
 }
 
 #[cfg(test)]

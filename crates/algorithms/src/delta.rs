@@ -98,6 +98,21 @@ pub trait DeltaAlgorithm: Send + Sync {
 
     /// Projects a final vertex state to `f64` for reporting and comparison.
     fn value_to_f64(&self, v: Self::Value) -> f64;
+
+    /// Absolute tolerance for comparing two backends' final values of this
+    /// algorithm.
+    ///
+    /// The default `0.0` demands exact agreement after
+    /// [`value_to_f64`](DeltaAlgorithm::value_to_f64) projection — correct
+    /// for the monotone min/max algorithms whose fixed point is reached by
+    /// an idempotent reduce regardless of event order. Accumulative
+    /// floating-point algorithms (PageRank-Delta, Adsorption) override this
+    /// with a small epsilon: §II-B's reordering property holds only up to
+    /// rounding for `f64` sums, so different backends legitimately differ in
+    /// the last bits.
+    fn comparison_tolerance(&self) -> f64 {
+        0.0
+    }
 }
 
 #[cfg(test)]

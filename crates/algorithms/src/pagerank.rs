@@ -153,6 +153,14 @@ impl DeltaAlgorithm for PageRankDelta {
     fn value_to_f64(&self, v: f64) -> f64 {
         v
     }
+
+    /// Rank mass is accumulated with `f64` additions, so backends differ by
+    /// the sub-threshold residue each vertex may still be holding when the
+    /// queue drains; the worst case grows with `threshold`, not machine
+    /// epsilon.
+    fn comparison_tolerance(&self) -> f64 {
+        (self.threshold * 1e4).max(1e-9)
+    }
 }
 
 impl crate::IncrementalAlgorithm for PageRankDelta {

@@ -1,0 +1,139 @@
+//! Direction-optimization and hardware-baseline coverage:
+//!
+//! * `edge_map` must pick push (sparse, `update_atomic`) or pull (dense,
+//!   `update`) exactly at the documented `work > |E| / dense_threshold_div`
+//!   boundary, including the `0` (never dense) and `usize::MAX` (always
+//!   dense) extremes — observed by counting which callback fires;
+//! * the Graphicionado BSP model must agree with the golden event-driven
+//!   engine (`run_sequential`) on every bundled algorithm.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gp_algorithms::engine::run_sequential;
+use gp_algorithms::{
+    max_abs_diff, normalize_inbound, Adsorption, AdsorptionParams, Bfs, ConnectedComponents,
+    PageRankDelta, Sssp,
+};
+use gp_baselines::graphicionado::{self, GraphicionadoConfig};
+use gp_baselines::ligra::{edge_map, EdgeOp, LigraConfig, VertexSubset};
+use gp_graph::generators::{erdos_renyi, WeightMode};
+use gp_graph::{CsrGraph, VertexId};
+
+/// Records which direction `edge_map` chose by counting the callback each
+/// direction is specified to use.
+#[derive(Default)]
+struct CountingOp {
+    /// `update` calls — only the dense (pull) direction makes them.
+    pulls: AtomicUsize,
+    /// `update_atomic` calls — only the sparse (push) direction makes them.
+    pushes: AtomicUsize,
+}
+
+impl EdgeOp for CountingOp {
+    fn update(&self, _src: VertexId, _dst: VertexId, _w: f32) -> bool {
+        self.pulls.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
+    fn update_atomic(&self, _src: VertexId, _dst: VertexId, _w: f32) -> bool {
+        self.pushes.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+}
+
+fn cfg(div: usize) -> LigraConfig {
+    LigraConfig {
+        threads: 2,
+        dense_threshold_div: div,
+        max_iterations: 100,
+    }
+}
+
+/// A graph and a frontier whose `work = |frontier| + frontier out-edges`
+/// is known, for probing the switch boundary.
+fn fixture() -> (CsrGraph, VertexSubset, usize) {
+    let g = erdos_renyi(40, 200, WeightMode::Unweighted, 9);
+    let frontier = VertexSubset::from_sparse(g.num_vertices(), vec![0, 1, 2, 3]);
+    let mut frontier_edges = 0usize;
+    frontier.for_each(|v| frontier_edges += g.out_degree(v) as usize);
+    (g, frontier, 4 + frontier_edges)
+}
+
+#[test]
+fn div_zero_never_goes_dense() {
+    let (g, frontier, _) = fixture();
+    let op = CountingOp::default();
+    edge_map(&g, &frontier, &op, &cfg(0));
+    assert!(op.pushes.load(Ordering::Relaxed) > 0);
+    assert_eq!(op.pulls.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn div_max_always_goes_dense() {
+    let (g, frontier, _) = fixture();
+    let op = CountingOp::default();
+    edge_map(&g, &frontier, &op, &cfg(usize::MAX));
+    assert!(op.pulls.load(Ordering::Relaxed) > 0);
+    assert_eq!(op.pushes.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn switch_happens_exactly_at_the_work_threshold() {
+    let (g, frontier, work) = fixture();
+    let m = g.num_edges();
+    assert!(work > 1 && work < m, "fixture must straddle the boundary");
+    // Sweep every divisor: dense iff work > |E| / div (integer division),
+    // mirroring the contract documented on `edge_map`.
+    for div in 1..=m {
+        let expect_dense = work > m / div;
+        let op = CountingOp::default();
+        edge_map(&g, &frontier, &op, &cfg(div));
+        let pulls = op.pulls.load(Ordering::Relaxed);
+        let pushes = op.pushes.load(Ordering::Relaxed);
+        if expect_dense {
+            assert!(pulls > 0 && pushes == 0, "div {div}: expected pull");
+        } else {
+            assert!(pushes > 0 && pulls == 0, "div {div}: expected push");
+        }
+    }
+}
+
+#[test]
+fn graphicionado_matches_golden_engine_on_every_algorithm() {
+    let cfg = GraphicionadoConfig::default();
+    let root = VertexId::new(0);
+
+    let unweighted = erdos_renyi(120, 600, WeightMode::Unweighted, 21);
+    for (label, algo) in [
+        ("bfs", &Bfs::new(root) as &dyn DynCheck),
+        ("cc", &ConnectedComponents::new()),
+        ("pr", &PageRankDelta::new(0.85, 1e-9)),
+    ] {
+        algo.check(&unweighted, &cfg, label);
+    }
+
+    let weighted = erdos_renyi(120, 600, WeightMode::Uniform(1.0, 6.0), 22);
+    (&Sssp::new(root) as &dyn DynCheck).check(&weighted, &cfg, "sssp");
+
+    let ads_graph = normalize_inbound(&erdos_renyi(90, 450, WeightMode::Uniform(0.5, 2.0), 23));
+    let params = AdsorptionParams::random(ads_graph.num_vertices(), 0xAD5);
+    (&Adsorption::new(params, 1e-9) as &dyn DynCheck).check(&ads_graph, &cfg, "ads");
+}
+
+/// Object-safe wrapper so one loop can cover algorithms of different
+/// `Value`/`Delta` types.
+trait DynCheck {
+    fn check(&self, g: &CsrGraph, cfg: &GraphicionadoConfig, label: &str);
+}
+
+impl<A: gp_algorithms::DeltaAlgorithm> DynCheck for A {
+    fn check(&self, g: &CsrGraph, cfg: &GraphicionadoConfig, label: &str) {
+        let hw = graphicionado::run(g, self, cfg);
+        let golden = run_sequential(self, g);
+        let diff = max_abs_diff(&hw.values, &golden.values);
+        // Accumulative algorithms stop at their threshold from different
+        // directions; monotone ones agree exactly.
+        assert!(diff < 1e-4, "{label}: max |diff| {diff:e}");
+        assert!(hw.cycles > 0 && hw.memory.total_bytes() > 0, "{label}");
+    }
+}

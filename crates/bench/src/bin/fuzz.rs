@@ -1,0 +1,75 @@
+//! Deterministic differential-fuzzing driver.
+//!
+//! Thin CLI over [`gp_verify::run_fuzz`]: every iteration generates a
+//! seed-determined random case (graph, machine, update stream), runs the
+//! golden / accelerator / shard-parallel / incremental differential
+//! oracle plus the metamorphic and micro-architectural invariant checks,
+//! and on failure shrinks to a minimal repro printed as a ready-to-paste
+//! regression test. Same seed, same output — byte for byte.
+
+use gp_verify::{Fault, FuzzConfig};
+
+const USAGE: &str = "\
+Usage: fuzz [flags]
+  --seed S              master seed (default 7)
+  --iters N             iterations to run (default 50)
+  --shrink              shrink the first failing case (default)
+  --no-shrink           report the failing case unshrunk
+  --inject-fault F      deliberately inject a defect to self-test the
+                        harness; F is one of: merge-order
+  --help                print this reference and exit
+
+Exit status: 0 when every iteration passes, 1 on an oracle failure,
+2 on a bad invocation.";
+
+fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<FuzzConfig>, String> {
+    let mut cfg = FuzzConfig::default();
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--seed" => {
+                let v = value()?;
+                cfg.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed takes an integer, got {v:?}"))?;
+            }
+            "--iters" => {
+                let v = value()?;
+                cfg.iters = v
+                    .parse()
+                    .map_err(|_| format!("--iters takes an integer, got {v:?}"))?;
+            }
+            "--shrink" => cfg.shrink = true,
+            "--no-shrink" => cfg.shrink = false,
+            "--inject-fault" => {
+                let v = value()?;
+                cfg.fault = Some(Fault::parse(&v).ok_or_else(|| format!("unknown fault {v:?}"))?);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Some(cfg))
+}
+
+fn main() {
+    let cfg = match parse(std::env::args().skip(1)) {
+        Ok(Some(cfg)) => cfg,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mut out = std::io::stdout().lock();
+    let report = gp_verify::run_fuzz(&cfg, &mut out).expect("writing to stdout failed");
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}

@@ -150,68 +150,87 @@ Common flags (every gp-bench binary):
   --delete-frac F  deletion fraction of the update mix (streaming, default 0.3)
   --help           print this reference and exit";
 
-    /// Parses `std::env::args()`-style arguments. `--help` prints
-    /// [`HarnessConfig::USAGE`] and exits; unknown flags abort with the
-    /// same reference.
-    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+    /// Parses `std::env::args()`-style arguments without touching the
+    /// process: `Ok(Some(cfg))` on success, `Ok(None)` when `--help` was
+    /// requested, `Err` describing the first bad flag or value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags, flags missing
+    /// their value, and unparsable values.
+    pub fn try_from_args(args: impl Iterator<Item = String>) -> Result<Option<Self>, String> {
+        fn parsed<T: std::str::FromStr>(flag: &str, v: &str, what: &str) -> Result<T, String> {
+            v.parse()
+                .map_err(|_| format!("{flag} takes {what}, got {v:?}"))
+        }
         let mut cfg = HarnessConfig::default();
         let mut args = args.peekable();
         while let Some(flag) = args.next() {
+            if matches!(flag.as_str(), "--help" | "-h") {
+                return Ok(None);
+            }
             let mut value = || {
                 args.next()
-                    .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+                    .ok_or_else(|| format!("flag {flag} needs a value"))
             };
             match flag.as_str() {
-                "--help" | "-h" => {
-                    println!("{}", Self::USAGE);
-                    std::process::exit(0);
-                }
-                "--scale" => cfg.scale = value().parse().expect("--scale takes an integer"),
-                "--seed" => cfg.seed = value().parse().expect("--seed takes an integer"),
-                "--threads" => cfg.threads = value().parse().expect("--threads takes an integer"),
-                "--workers" => {
-                    cfg.workers = Some(value().parse().expect("--workers takes an integer"));
-                }
+                "--scale" => cfg.scale = parsed(&flag, &value()?, "an integer")?,
+                "--seed" => cfg.seed = parsed(&flag, &value()?, "an integer")?,
+                "--threads" => cfg.threads = parsed(&flag, &value()?, "an integer")?,
+                "--workers" => cfg.workers = Some(parsed(&flag, &value()?, "an integer")?),
                 "--epoch-cycles" => {
-                    cfg.epoch_cycles =
-                        Some(value().parse().expect("--epoch-cycles takes an integer"));
+                    cfg.epoch_cycles = Some(parsed(&flag, &value()?, "an integer")?);
                 }
-                "--vertices" => {
-                    cfg.stream_vertices = value().parse().expect("--vertices takes an integer");
-                }
-                "--batches" => cfg.batches = value().parse().expect("--batches takes an integer"),
-                "--batch-size" => {
-                    cfg.batch_size = value().parse().expect("--batch-size takes an integer");
-                }
-                "--delete-frac" => {
-                    cfg.delete_fraction = value().parse().expect("--delete-frac takes a number");
-                }
+                "--vertices" => cfg.stream_vertices = parsed(&flag, &value()?, "an integer")?,
+                "--batches" => cfg.batches = parsed(&flag, &value()?, "an integer")?,
+                "--batch-size" => cfg.batch_size = parsed(&flag, &value()?, "an integer")?,
+                "--delete-frac" => cfg.delete_fraction = parsed(&flag, &value()?, "a number")?,
                 "--workloads" => {
-                    cfg.workloads = value()
+                    cfg.workloads = value()?
                         .split(',')
                         .map(|w| match w.to_ascii_uppercase().as_str() {
-                            "WG" => Workload::WebGoogle,
-                            "FB" => Workload::Facebook,
-                            "WK" => Workload::Wikipedia,
-                            "LJ" => Workload::LiveJournal,
-                            "TW" => Workload::Twitter,
-                            other => panic!("unknown workload {other}"),
+                            "WG" => Ok(Workload::WebGoogle),
+                            "FB" => Ok(Workload::Facebook),
+                            "WK" => Ok(Workload::Wikipedia),
+                            "LJ" => Ok(Workload::LiveJournal),
+                            "TW" => Ok(Workload::Twitter),
+                            other => Err(format!(
+                                "unknown workload {other} (expected WG,FB,WK,LJ,TW)"
+                            )),
                         })
-                        .collect();
+                        .collect::<Result<_, _>>()?;
                 }
                 "--apps" => {
-                    cfg.apps = value()
+                    cfg.apps = value()?
                         .split(',')
-                        .map(|a| App::parse(a).unwrap_or_else(|| panic!("unknown app {a}")))
-                        .collect();
+                        .map(|a| {
+                            App::parse(a).ok_or_else(|| {
+                                format!("unknown app {a} (expected pr,ads,sssp,bfs,cc)")
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
                 }
-                other => {
-                    eprintln!("{}", Self::USAGE);
-                    panic!("unknown flag {other}");
-                }
+                other => return Err(format!("unknown flag {other}")),
             }
         }
-        cfg
+        Ok(Some(cfg))
+    }
+
+    /// Parses `std::env::args()`-style arguments for a binary's `main`.
+    /// `--help` prints [`HarnessConfig::USAGE`] and exits 0; bad flags
+    /// print the error plus the same reference to stderr and exit 2.
+    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+        match Self::try_from_args(args) {
+            Ok(Some(cfg)) => cfg,
+            Ok(None) => {
+                println!("{}", Self::USAGE);
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", Self::USAGE);
+                std::process::exit(2);
+            }
+        }
     }
 
     /// The Ligra configuration derived from the harness knobs.
@@ -515,24 +534,26 @@ fn write_csv(title: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Res
 mod tests {
     use super::*;
 
+    fn try_parse(args: &[&str]) -> Result<Option<HarnessConfig>, String> {
+        HarnessConfig::try_from_args(args.iter().map(|s| s.to_string()))
+    }
+
     #[test]
     fn args_parse_round_trip() {
-        let cfg = HarnessConfig::from_args(
-            [
-                "--scale",
-                "128",
-                "--seed",
-                "7",
-                "--workloads",
-                "WG,LJ",
-                "--apps",
-                "pr,bfs",
-                "--threads",
-                "2",
-            ]
-            .iter()
-            .map(|s| s.to_string()),
-        );
+        let cfg = try_parse(&[
+            "--scale",
+            "128",
+            "--seed",
+            "7",
+            "--workloads",
+            "WG,LJ",
+            "--apps",
+            "pr,bfs",
+            "--threads",
+            "2",
+        ])
+        .unwrap()
+        .unwrap();
         assert_eq!(cfg.scale, 128);
         assert_eq!(cfg.seed, 7);
         assert_eq!(
@@ -541,6 +562,30 @@ mod tests {
         );
         assert_eq!(cfg.apps, vec![App::PageRank, App::Bfs]);
         assert_eq!(cfg.threads, 2);
+    }
+
+    #[test]
+    fn help_is_not_an_error() {
+        assert!(try_parse(&["--help"]).unwrap().is_none());
+        assert!(try_parse(&["--scale", "4", "-h"]).unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_invocations_are_reported_not_panicked() {
+        let err = try_parse(&["--frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown flag --frobnicate"), "{err}");
+
+        let err = try_parse(&["--scale"]).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+
+        let err = try_parse(&["--seed", "not-a-number"]).unwrap_err();
+        assert!(err.contains("--seed takes an integer"), "{err}");
+
+        let err = try_parse(&["--apps", "pr,quux"]).unwrap_err();
+        assert!(err.contains("unknown app quux"), "{err}");
+
+        let err = try_parse(&["--workloads", "WG,ZZ"]).unwrap_err();
+        assert!(err.contains("unknown workload ZZ"), "{err}");
     }
 
     #[test]

@@ -164,6 +164,49 @@ impl ExecutionReport {
         }
     }
 
+    /// Event-conservation debug check: every generated event must be
+    /// accounted for as processed, coalesced away, or spilled off-chip.
+    ///
+    /// For a single machine (sequential and sliced runs) the accounting is
+    /// exact — spilled events re-enter the queue on a later slice pass and
+    /// are eventually processed or coalesced, so pass `strict = true` and
+    /// require `generated == processed + coalesced`. A merged shard-parallel
+    /// report coalesces cross-shard events inside per-shard outboxes without
+    /// incrementing `events_coalesced`, so there pass `strict = false`,
+    /// which only requires the deficit to stay within `events_spilled`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated balance equation.
+    pub fn check_event_conservation(&self, strict: bool) -> Result<(), String> {
+        let absorbed = self.events_processed + self.events_coalesced;
+        if absorbed > self.events_generated {
+            return Err(format!(
+                "absorbed more events than generated: processed {} + coalesced {} > generated {}",
+                self.events_processed, self.events_coalesced, self.events_generated
+            ));
+        }
+        let deficit = self.events_generated - absorbed;
+        if strict && deficit != 0 {
+            return Err(format!(
+                "event conservation violated: generated {} != processed {} + coalesced {} \
+                 (deficit {deficit})",
+                self.events_generated, self.events_processed, self.events_coalesced
+            ));
+        }
+        if deficit > self.events_spilled {
+            return Err(format!(
+                "event deficit {deficit} exceeds spilled count {} \
+                 (generated {}, processed {}, coalesced {})",
+                self.events_spilled,
+                self.events_generated,
+                self.events_processed,
+                self.events_coalesced
+            ));
+        }
+        Ok(())
+    }
+
     /// Aggregate lookahead distribution over all rounds.
     pub fn total_lookahead(&self) -> LookaheadBuckets {
         let mut total = LookaheadBuckets::default();

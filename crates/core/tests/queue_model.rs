@@ -127,6 +127,18 @@ fn random_graphs_agree_across_queue_shapes() {
 }
 
 #[test]
+fn event_conservation_check_passes_strict_on_single_machines() {
+    for queue in queue_shapes() {
+        let g = erdos_renyi(60, 240, WeightMode::Uniform(1.0, 4.0), 0x11);
+        let algo = Sssp::new(VertexId::new(0));
+        let out = machine(queue).run(&g, &algo).expect("run");
+        out.report
+            .check_event_conservation(true)
+            .expect("sequential/sliced runs balance exactly");
+    }
+}
+
+#[test]
 fn hub_heavy_graphs_agree_across_queue_shapes() {
     let mut rng = StdRng::seed_from_u64(0xE2);
     for _ in 0..10 {

@@ -274,6 +274,42 @@ impl CsrGraph {
         }
         Ok(())
     }
+
+    /// The isomorphic graph in which vertex `v` is renamed `perm[v]`.
+    ///
+    /// `perm` must be a bijection of `0..num_vertices()`. Because
+    /// [`GraphBuilder`](crate::GraphBuilder) canonicalizes adjacency order,
+    /// relabeling and then inverting the relabeling reproduces the original
+    /// graph exactly; verification harnesses use this for metamorphic
+    /// label-invariance checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..num_vertices()`.
+    pub fn relabel(&self, perm: &[u32]) -> CsrGraph {
+        let n = self.num_vertices();
+        assert_eq!(perm.len(), n, "permutation length must match vertex count");
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!(
+                (p as usize) < n && !seen[p as usize],
+                "perm must be a bijection of 0..{n}"
+            );
+            seen[p as usize] = true;
+        }
+        let mut b = crate::GraphBuilder::new(n);
+        b.weighted(self.weighted);
+        for v in self.vertices() {
+            for e in self.out_edges(v) {
+                b.add_edge(
+                    VertexId::new(perm[v.index()]),
+                    VertexId::new(perm[e.other.index()]),
+                    e.weight,
+                );
+            }
+        }
+        b.build()
+    }
 }
 
 impl fmt::Display for CsrGraph {
@@ -398,5 +434,33 @@ mod tests {
         let s = diamond().to_string();
         assert!(s.contains("4 vertices"));
         assert!(s.contains("4 edges"));
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = diamond();
+        let perm = [2u32, 0, 3, 1]; // old -> new
+        let r = g.relabel(&perm);
+        r.check_invariants().unwrap();
+        assert_eq!(r.num_vertices(), 4);
+        assert_eq!(r.num_edges(), 4);
+        assert!(r.is_weighted());
+        // Edge (0 -> 1, w=1.0) becomes (2 -> 0, w=1.0).
+        let e: Vec<_> = r.out_edges(VertexId::new(2)).collect();
+        assert!(e
+            .iter()
+            .any(|e| e.other == VertexId::new(0) && e.weight == 1.0));
+        // Round trip through the inverse permutation is the identity.
+        let mut inv = [0u32; 4];
+        for (old, &new) in perm.iter().enumerate() {
+            inv[new as usize] = old as u32;
+        }
+        assert_eq!(r.relabel(&inv), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "bijection")]
+    fn relabel_rejects_non_bijections() {
+        diamond().relabel(&[0, 0, 1, 2]);
     }
 }

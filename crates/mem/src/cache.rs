@@ -150,6 +150,34 @@ impl Cache {
     pub fn config(&self) -> CacheConfig {
         self.config
     }
+
+    /// Validates structural invariants (a debug hook for verification
+    /// harnesses): every set holds at most `ways` tags, no set holds a
+    /// duplicate tag, and every resident tag actually indexes its set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (set, ways) in self.lines.iter().enumerate() {
+            if ways.len() > self.config.ways {
+                return Err(format!(
+                    "set {set} holds {} tags but associativity is {}",
+                    ways.len(),
+                    self.config.ways
+                ));
+            }
+            for (i, &tag) in ways.iter().enumerate() {
+                if ways[..i].contains(&tag) {
+                    return Err(format!("set {set} holds tag {tag:#x} twice"));
+                }
+                if (tag as usize) & (self.config.sets - 1) != set {
+                    return Err(format!("tag {tag:#x} resident in wrong set {set}"));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +237,18 @@ mod tests {
         c.clear();
         assert!(!c.contains(0));
         assert!(!c.contains(64));
+    }
+
+    #[test]
+    fn invariants_hold_after_mixed_traffic() {
+        let mut c = Cache::new(CacheConfig { sets: 4, ways: 2 });
+        for i in 0..64u64 {
+            c.fill(i * 40);
+            c.probe(i * 24);
+        }
+        c.check_invariants().unwrap();
+        c.clear();
+        c.check_invariants().unwrap();
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use gp_sim::{Cycle, EventWheel};
 
+use crate::protocol::{IssueRecord, RowOutcome};
 use crate::{DramConfig, MemRequest, ReqId, TrafficClass, LINE_BYTES};
 
 /// Aggregate off-chip traffic statistics.
@@ -126,6 +127,7 @@ pub struct MemorySystem {
     stats: MemStats,
     next_id: u64,
     in_flight: usize,
+    trace: Option<Vec<IssueRecord>>,
 }
 
 impl MemorySystem {
@@ -157,12 +159,26 @@ impl MemorySystem {
             stats: MemStats::default(),
             next_id: 0,
             in_flight: 0,
+            trace: None,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &DramConfig {
         &self.config
+    }
+
+    /// Starts recording one [`IssueRecord`] per issued transaction
+    /// (a debug hook for [`crate::check_protocol`]). Off by default; the
+    /// trace grows unbounded while enabled, so reserve it for bounded
+    /// verification workloads.
+    pub fn enable_trace(&mut self) {
+        self.trace.get_or_insert_with(Vec::new);
+    }
+
+    /// Takes the accumulated command trace, leaving recording enabled.
+    pub fn take_trace(&mut self) -> Vec<IssueRecord> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     fn channel_of(&self, addr: u64) -> usize {
@@ -241,20 +257,21 @@ impl MemorySystem {
         let bank_idx = (row % banks_per_channel) as usize;
         let bank = &mut ch.banks[bank_idx];
 
-        let access_lat = match bank.open_row {
+        let outcome = match bank.open_row {
             Some(open) if open == row => {
                 self.stats.row_hits += 1;
-                self.config.t_cas
+                RowOutcome::Hit
             }
             Some(_) => {
                 self.stats.row_conflicts += 1;
-                self.config.t_rp + self.config.t_rcd + self.config.t_cas
+                RowOutcome::Conflict
             }
             None => {
                 self.stats.row_misses += 1;
-                self.config.t_rcd + self.config.t_cas
+                RowOutcome::Miss
             }
         };
+        let access_lat = outcome.access_latency(&self.config);
         let burst = (f64::from(req.bytes()) / self.config.bytes_per_cycle).ceil() as u64;
         let burst = burst.max(1);
         let done = now + access_lat + burst;
@@ -264,6 +281,16 @@ impl MemorySystem {
         bank.ready_at = now + (access_lat - self.config.t_cas) + burst;
         ch.bus_free_at = now + burst; // data bus occupied for the burst
         self.stats.bus_busy_cycles += burst;
+        if let Some(trace) = &mut self.trace {
+            trace.push(IssueRecord {
+                at: now.get(),
+                channel: ch_idx,
+                bank: bank_idx,
+                row,
+                outcome,
+                burst,
+            });
+        }
 
         let idx = req.class().index();
         self.stats.accesses[idx] += 1;
@@ -444,6 +471,50 @@ mod tests {
         assert_eq!(s.total_bytes(), 128);
         assert!((s.utilization() - 72.0 / 128.0).abs() < 1e-12);
         assert_eq!(s.total_accesses(), 2);
+    }
+
+    #[test]
+    fn command_trace_of_a_real_run_is_protocol_legal() {
+        let mut mem = MemorySystem::new(DramConfig::paper());
+        mem.enable_trace();
+        let mut now = Cycle::ZERO;
+        let mut pending = 0usize;
+        for i in 0..300u64 {
+            // A mix of strides hitting every channel/bank with hits,
+            // misses, and conflicts.
+            let addr = (i * 72) ^ ((i % 7) * 65_536);
+            if mem
+                .request(now, MemRequest::read(addr, 48, TrafficClass::Other))
+                .is_ok()
+            {
+                pending += 1;
+            }
+            mem.tick(now);
+            while mem.pop_completion(now).is_some() {
+                pending -= 1;
+            }
+            now = now.next();
+        }
+        for _ in 0..100_000 {
+            if pending == 0 {
+                break;
+            }
+            mem.tick(now);
+            while mem.pop_completion(now).is_some() {
+                pending -= 1;
+            }
+            now = now.next();
+        }
+        assert_eq!(pending, 0);
+        let trace = mem.take_trace();
+        assert!(!trace.is_empty());
+        crate::check_protocol(mem.config(), &trace).unwrap();
+        // Trace outcomes reconcile with the stats counters.
+        let hits = trace
+            .iter()
+            .filter(|r| r.outcome == RowOutcome::Hit)
+            .count() as u64;
+        assert_eq!(hits, mem.stats().row_hits);
     }
 
     #[test]

@@ -44,12 +44,14 @@ mod cache;
 mod config;
 mod dram;
 pub mod prefetch;
+pub mod protocol;
 mod request;
 mod scratchpad;
 
 pub use cache::{Cache, CacheConfig};
 pub use config::DramConfig;
 pub use dram::{MemStats, MemorySystem};
+pub use protocol::{check_protocol, IssueRecord, RowOutcome};
 pub use request::{MemRequest, ReqId, TrafficClass};
 pub use scratchpad::Scratchpad;
 

@@ -1,0 +1,225 @@
+//! DRAM command-issue tracing and protocol-legality checking.
+//!
+//! [`MemorySystem`](crate::MemorySystem) can record one [`IssueRecord`] per
+//! issued transaction (see
+//! [`MemorySystem::enable_trace`](crate::MemorySystem::enable_trace)).
+//! [`check_protocol`] then replays the
+//! trace against an *independent* model of the DDR timing rules and reports
+//! the first violation, making scheduler bugs (issuing to a busy bank,
+//! overlapping bus bursts, mislabeled row-buffer outcomes) observable from
+//! the outside. Verification harnesses use it as a debug hook after fuzzed
+//! workloads.
+
+use crate::DramConfig;
+
+/// Row-buffer outcome of one issued transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// Target row already open (column access only: tCAS).
+    Hit,
+    /// Bank precharged, row activated (tRCD + tCAS).
+    Miss,
+    /// Different row open: precharge then activate (tRP + tRCD + tCAS).
+    Conflict,
+}
+
+impl RowOutcome {
+    /// The access latency this outcome implies under `cfg`.
+    pub fn access_latency(self, cfg: &DramConfig) -> u64 {
+        match self {
+            RowOutcome::Hit => cfg.t_cas,
+            RowOutcome::Miss => cfg.t_rcd + cfg.t_cas,
+            RowOutcome::Conflict => cfg.t_rp + cfg.t_rcd + cfg.t_cas,
+        }
+    }
+}
+
+/// One issued DRAM transaction, as recorded by the memory system's
+/// command trace.
+#[derive(Debug, Clone, Copy)]
+pub struct IssueRecord {
+    /// Cycle the command was issued at.
+    pub at: u64,
+    /// Channel index.
+    pub channel: usize,
+    /// Bank index within the channel.
+    pub bank: usize,
+    /// DRAM row addressed.
+    pub row: u64,
+    /// Row-buffer outcome the scheduler claimed.
+    pub outcome: RowOutcome,
+    /// Data-bus burst length in cycles.
+    pub burst: u64,
+}
+
+#[derive(Clone, Copy)]
+struct BankState {
+    open_row: Option<u64>,
+    ready_at: u64,
+}
+
+/// Replays `trace` against the DDR timing rules of `cfg` and returns the
+/// first violation found.
+///
+/// Checked per record, with bank/bus state re-derived from scratch:
+///
+/// 1. the channel data bus must be free (`at >= prev_at + prev_burst`);
+/// 2. the target bank must have finished its previous activate/precharge
+///    (`at >= ready_at`, where `ready_at` advances by
+///    `access_latency - tCAS + burst` — column accesses to an open row
+///    pipeline at burst rate);
+/// 3. the recorded [`RowOutcome`] must match the row-buffer state implied
+///    by the trace prefix (tRCD/tCAS/tRP ordering; tRAS is not modeled
+///    separately by [`DramConfig`] — activate-to-precharge spacing is
+///    subsumed by the conservative `ready_at` rule);
+/// 4. burst lengths must be nonzero and rows/banks in range.
+///
+/// Records must appear in issue order per channel (the memory system
+/// appends them in tick order, which guarantees this).
+///
+/// # Errors
+///
+/// Returns a description of the first violated rule, naming the offending
+/// record index.
+pub fn check_protocol(cfg: &DramConfig, trace: &[IssueRecord]) -> Result<(), String> {
+    let mut bus_free: Vec<u64> = vec![0; cfg.channels];
+    let mut banks: Vec<Vec<BankState>> = vec![
+        vec![
+            BankState {
+                open_row: None,
+                ready_at: 0
+            };
+            cfg.banks_per_channel
+        ];
+        cfg.channels
+    ];
+    let mut last_at: Vec<u64> = vec![0; cfg.channels];
+
+    for (i, r) in trace.iter().enumerate() {
+        if r.channel >= cfg.channels {
+            return Err(format!("record {i}: channel {} out of range", r.channel));
+        }
+        if r.bank >= cfg.banks_per_channel {
+            return Err(format!("record {i}: bank {} out of range", r.bank));
+        }
+        if r.burst == 0 {
+            return Err(format!("record {i}: zero-length burst"));
+        }
+        if (r.row % cfg.banks_per_channel as u64) as usize != r.bank {
+            return Err(format!(
+                "record {i}: row {} does not map to bank {}",
+                r.row, r.bank
+            ));
+        }
+        if r.at < last_at[r.channel] {
+            return Err(format!(
+                "record {i}: channel {} trace not in issue order ({} after {})",
+                r.channel, r.at, last_at[r.channel]
+            ));
+        }
+        last_at[r.channel] = r.at;
+        if r.at < bus_free[r.channel] {
+            return Err(format!(
+                "record {i}: issued at {} while channel {} bus busy until {}",
+                r.at, r.channel, bus_free[r.channel]
+            ));
+        }
+        let bank = &mut banks[r.channel][r.bank];
+        if r.at < bank.ready_at {
+            return Err(format!(
+                "record {i}: issued at {} while bank {}.{} busy until {}",
+                r.at, r.channel, r.bank, bank.ready_at
+            ));
+        }
+        let expected = match bank.open_row {
+            Some(open) if open == r.row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Conflict,
+            None => RowOutcome::Miss,
+        };
+        if expected != r.outcome {
+            return Err(format!(
+                "record {i}: outcome {:?} but row-buffer state implies {expected:?}",
+                r.outcome
+            ));
+        }
+        let access_lat = r.outcome.access_latency(cfg);
+        bank.open_row = Some(r.row);
+        bank.ready_at = r.at + (access_lat - cfg.t_cas) + r.burst;
+        bus_free[r.channel] = r.at + r.burst;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig::single_channel()
+    }
+
+    fn rec(at: u64, row: u64, outcome: RowOutcome, burst: u64) -> IssueRecord {
+        IssueRecord {
+            at,
+            channel: 0,
+            bank: (row % cfg().banks_per_channel as u64) as usize,
+            row,
+            outcome,
+            burst,
+        }
+    }
+
+    #[test]
+    fn legal_hit_sequence_passes() {
+        let c = cfg();
+        // Miss at 0 holds the bank until (tRCD) + burst = 18; a hit to the
+        // now-open row is legal from there.
+        let trace = [
+            rec(0, 0, RowOutcome::Miss, 4),
+            rec(18, 0, RowOutcome::Hit, 4),
+        ];
+        check_protocol(&c, &trace).unwrap();
+    }
+
+    #[test]
+    fn overlapping_bursts_are_caught() {
+        let c = cfg();
+        let trace = [
+            rec(0, 0, RowOutcome::Miss, 4),
+            rec(2, 0, RowOutcome::Hit, 4),
+        ];
+        let err = check_protocol(&c, &trace).unwrap_err();
+        assert!(err.contains("bus busy"), "{err}");
+    }
+
+    #[test]
+    fn busy_bank_is_caught() {
+        let c = cfg();
+        // Second access to the same bank's other row before the first
+        // activation completes: bank busy until 14 + 4 = 18, bus free at 4.
+        let other_row = c.banks_per_channel as u64; // same bank 0
+        let trace = [
+            rec(0, 0, RowOutcome::Miss, 4),
+            rec(5, other_row, RowOutcome::Conflict, 4),
+        ];
+        let err = check_protocol(&c, &trace).unwrap_err();
+        assert!(err.contains("bank"), "{err}");
+    }
+
+    #[test]
+    fn mislabeled_outcome_is_caught() {
+        let c = cfg();
+        let trace = [rec(0, 0, RowOutcome::Hit, 4)];
+        let err = check_protocol(&c, &trace).unwrap_err();
+        assert!(err.contains("implies Miss"), "{err}");
+    }
+
+    #[test]
+    fn wrong_bank_mapping_is_caught() {
+        let c = cfg();
+        let mut r = rec(0, 1, RowOutcome::Miss, 4);
+        r.bank = 0; // row 1 maps to bank 1
+        let err = check_protocol(&c, &[r]).unwrap_err();
+        assert!(err.contains("does not map"), "{err}");
+    }
+}

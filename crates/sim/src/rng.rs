@@ -54,6 +54,33 @@ pub trait Rng {
     fn gen_bool(&mut self, p: f64) -> bool {
         self.next_f64() < p
     }
+
+    /// Uniform in-place Fisher–Yates shuffle of `slice`.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniform random permutation of `0..n`, as the array `p` with
+    /// `p[i]` = new position of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX` (the workspace's vertex-id width).
+    fn permutation(&mut self, n: usize) -> Vec<u32>
+    where
+        Self: Sized,
+    {
+        assert!(n <= u32::MAX as usize, "permutation domain too large");
+        let mut p: Vec<u32> = (0..n as u32).collect();
+        self.shuffle(&mut p);
+        p
+    }
 }
 
 /// A half-open range a [`Rng`] can sample uniformly.
@@ -183,6 +210,35 @@ mod tests {
         let mut r = StdRng::seed_from_u64(5);
         assert!(!(0..100).any(|_| r.gen_bool(0.0)));
         assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let mut a = StdRng::seed_from_u64(13);
+        let mut b = StdRng::seed_from_u64(13);
+        let mut x: Vec<u32> = (0..50).collect();
+        let mut y = x.clone();
+        a.shuffle(&mut x);
+        b.shuffle(&mut y);
+        assert_eq!(x, y);
+        let mut sorted = x.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // 50 elements virtually never shuffle to the identity.
+        assert_ne!(x, sorted);
+    }
+
+    #[test]
+    fn permutation_is_bijective() {
+        let mut r = StdRng::seed_from_u64(21);
+        let p = r.permutation(33);
+        let mut seen = [false; 33];
+        for &v in &p {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(r.permutation(0).is_empty());
     }
 
     #[test]

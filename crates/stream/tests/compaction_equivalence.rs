@@ -1,0 +1,82 @@
+//! Mid-stream compaction must be invisible: an incremental engine that
+//! compacts after every batch (`compact_fraction = 0.0`) and one that
+//! never compacts (`f64::INFINITY`) must produce identical values and an
+//! identical materialized graph after every batch — compaction changes the
+//! overlay's representation, never its meaning.
+
+use gp_algorithms::{Bfs, ConnectedComponents, IncrementalAlgorithm, Sssp};
+use gp_graph::generators::{rmat, RmatConfig, WeightMode};
+use gp_graph::VertexId;
+use gp_stream::{IncrementalEngine, StreamConfig, UpdateStream};
+
+const VERTICES: usize = 96;
+const ROUNDS: usize = 5;
+const BATCH: usize = 32;
+
+fn check_compaction_equivalence<A: IncrementalAlgorithm + Clone>(
+    algo: &A,
+    weights: WeightMode,
+    seed: u64,
+) {
+    let base = rmat(
+        &RmatConfig::graph500(VERTICES, 6 * VERTICES).with_weights(weights),
+        seed,
+    );
+    let (mut eager, _) =
+        IncrementalEngine::new(algo.clone(), base.clone(), StreamConfig::golden(0.0))
+            .expect("eager engine");
+    let (mut lazy, _) =
+        IncrementalEngine::new(algo.clone(), base, StreamConfig::golden(f64::INFINITY))
+            .expect("lazy engine");
+
+    let mut stream = UpdateStream::new(VERTICES, 0.4, weights, seed ^ 0x5EED);
+    let mut eager_compacted = 0usize;
+    for round in 0..ROUNDS {
+        // One shared batch: the engines must see identical updates.
+        let batch = stream.next_batch(eager.graph(), BATCH);
+        let re = eager.apply_batch(&batch).expect("eager batch");
+        let rl = lazy.apply_batch(&batch).expect("lazy batch");
+        eager_compacted += usize::from(re.compacted);
+        assert!(
+            !rl.compacted,
+            "round {round}: lazy engine must never compact"
+        );
+        assert_eq!(
+            eager.values(),
+            lazy.values(),
+            "round {round}: values diverged across compaction policies"
+        );
+        assert_eq!(
+            eager.graph().to_csr(),
+            lazy.graph().to_csr(),
+            "round {round}: materialized graphs diverged"
+        );
+    }
+    assert!(
+        eager_compacted > 0,
+        "stream never triggered a compaction — the test exercised nothing"
+    );
+    // The eager engine folded everything back; the lazy one still carries
+    // its patch pool. Same meaning, different representation.
+    assert_eq!(eager.graph().pool_edge_slots(), 0);
+    assert!(lazy.graph().pool_edge_slots() > 0);
+}
+
+#[test]
+fn sssp_is_invariant_to_compaction_policy() {
+    check_compaction_equivalence(
+        &Sssp::new(VertexId::new(0)),
+        WeightMode::Uniform(1.0, 6.0),
+        0xA1,
+    );
+}
+
+#[test]
+fn bfs_is_invariant_to_compaction_policy() {
+    check_compaction_equivalence(&Bfs::new(VertexId::new(0)), WeightMode::Unweighted, 0xA2);
+}
+
+#[test]
+fn cc_is_invariant_to_compaction_policy() {
+    check_compaction_equivalence(&ConnectedComponents::new(), WeightMode::Unweighted, 0xA3);
+}

@@ -1,0 +1,221 @@
+//! Micro-architectural invariant checkers for the memory models.
+//!
+//! These run a randomized workload directly against `gp-mem` and validate
+//! the model from the outside:
+//!
+//! * [`check_dram_protocol`] — drives a [`MemorySystem`] with random
+//!   traffic while command tracing is enabled, then replays the trace
+//!   through [`gp_mem::check_protocol`]'s independent DDR timing model
+//!   (tRCD/tCAS/tRP legality, bus/bank occupancy, row-buffer outcome
+//!   consistency) and confirms no request was lost;
+//! * [`check_cache_model`] — replays a random probe/fill trace against
+//!   both [`Cache`] and a naive reference LRU model, requiring identical
+//!   hit/miss outcomes, identical counters, identical residency, and
+//!   structurally sound sets ([`Cache::check_invariants`]).
+
+use gp_mem::{
+    check_protocol, Cache, CacheConfig, DramConfig, MemRequest, MemorySystem, TrafficClass,
+    LINE_BYTES,
+};
+use gp_sim::rng::{Rng, StdRng};
+use gp_sim::Cycle;
+
+/// Fuzzes the DRAM timing model and validates its command trace.
+///
+/// # Errors
+///
+/// Returns the first protocol or accounting violation.
+pub fn check_dram_protocol(seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cfg = if rng.gen_bool(0.5) {
+        DramConfig::paper()
+    } else {
+        DramConfig::single_channel()
+    };
+    cfg.queue_depth = rng.gen_range(2..16usize);
+    cfg.sched_window = rng.gen_range(1..8usize);
+    let mut mem = MemorySystem::new(cfg);
+    mem.enable_trace();
+
+    let classes = [
+        TrafficClass::VertexRead,
+        TrafficClass::EdgeRead,
+        TrafficClass::Other,
+    ];
+    let total = 150usize;
+    let mut submitted = 0usize;
+    let mut completed = 0usize;
+    let mut now = Cycle::ZERO;
+    let mut guard = 0u32;
+    while completed < total {
+        if submitted < total && rng.gen_bool(0.7) {
+            // Random strides mix row hits, misses, and bank conflicts.
+            let addr = rng.gen_range(0..1u64 << 20);
+            let bytes = [8u32, 24, 64, 96][rng.gen_range(0..4usize)];
+            let class = classes[rng.gen_range(0..classes.len())];
+            if mem
+                .request(now, MemRequest::read(addr, bytes, class))
+                .is_ok()
+            {
+                submitted += 1;
+            }
+        }
+        mem.tick(now);
+        while mem.pop_completion(now).is_some() {
+            completed += 1;
+        }
+        now = now.next();
+        guard += 1;
+        if guard > 2_000_000 {
+            return Err(format!(
+                "DRAM workload wedged: {completed}/{submitted} completions after {guard} cycles"
+            ));
+        }
+    }
+    if !mem.is_idle() {
+        return Err("memory system not idle after all completions popped".into());
+    }
+    let trace = mem.take_trace();
+    if trace.len() != submitted {
+        return Err(format!(
+            "trace records {} issues for {submitted} accepted requests",
+            trace.len()
+        ));
+    }
+    check_protocol(mem.config(), &trace)?;
+    let row_events = mem.stats().row_hits + mem.stats().row_misses + mem.stats().row_conflicts;
+    if row_events != submitted as u64 {
+        return Err(format!(
+            "row-buffer accounting ({row_events}) disagrees with issued requests ({submitted})"
+        ));
+    }
+    Ok(())
+}
+
+/// A deliberately naive reference LRU model: per-set `Vec` ordered
+/// most-recent-first, no shared code with [`Cache`].
+struct RefLru {
+    sets: usize,
+    ways: usize,
+    lines: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RefLru {
+    fn new(sets: usize, ways: usize) -> Self {
+        RefLru {
+            sets,
+            ways,
+            lines: vec![Vec::new(); sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / LINE_BYTES) as usize) % self.sets
+    }
+
+    fn probe(&mut self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = addr / LINE_BYTES;
+        if let Some(pos) = self.lines[set].iter().position(|&t| t == tag) {
+            let t = self.lines[set].remove(pos);
+            self.lines[set].insert(0, t);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    fn fill(&mut self, addr: u64) {
+        let set = self.set_of(addr);
+        let tag = addr / LINE_BYTES;
+        if let Some(pos) = self.lines[set].iter().position(|&t| t == tag) {
+            let t = self.lines[set].remove(pos);
+            self.lines[set].insert(0, t);
+            return;
+        }
+        if self.lines[set].len() == self.ways {
+            self.lines[set].pop();
+        }
+        self.lines[set].insert(0, tag);
+    }
+
+    fn contains(&self, addr: u64) -> bool {
+        self.lines[self.set_of(addr)].contains(&(addr / LINE_BYTES))
+    }
+}
+
+/// Differentially fuzzes the cache hit/miss accounting against `RefLru`.
+///
+/// # Errors
+///
+/// Returns the first divergence between model and reference.
+pub fn check_cache_model(seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sets = 1usize << rng.gen_range(0..4u32);
+    let ways = rng.gen_range(1..5usize);
+    let mut cache = Cache::new(CacheConfig { sets, ways });
+    let mut reference = RefLru::new(sets, ways);
+    // A small address pool keeps hit rates interesting.
+    let pool: Vec<u64> = (0..rng.gen_range(4..40u64))
+        .map(|_| rng.gen_range(0..1u64 << 14))
+        .collect();
+    for op in 0..600usize {
+        let addr = pool[rng.gen_range(0..pool.len())];
+        if rng.gen_bool(0.5) {
+            let got = cache.probe(addr);
+            let want = reference.probe(addr);
+            if got != want {
+                return Err(format!(
+                    "op {op}: probe({addr:#x}) hit={got}, reference says hit={want}"
+                ));
+            }
+        } else {
+            cache.fill(addr);
+            reference.fill(addr);
+        }
+        if cache.contains(addr) != reference.contains(addr) {
+            return Err(format!("op {op}: residency of {addr:#x} diverged"));
+        }
+    }
+    cache.check_invariants()?;
+    if cache.hits() != reference.hits || cache.misses() != reference.misses {
+        return Err(format!(
+            "counters diverged: cache {}/{} vs reference {}/{}",
+            cache.hits(),
+            cache.misses(),
+            reference.hits,
+            reference.misses
+        ));
+    }
+    for &addr in &pool {
+        if cache.contains(addr) != reference.contains(addr) {
+            return Err(format!("final residency of {addr:#x} diverged"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_protocol_micro_fuzz_passes() {
+        for seed in 0..6u64 {
+            check_dram_protocol(seed).unwrap();
+        }
+    }
+
+    #[test]
+    fn cache_model_micro_fuzz_passes() {
+        for seed in 0..10u64 {
+            check_cache_model(seed).unwrap();
+        }
+    }
+}

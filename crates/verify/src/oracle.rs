@@ -1,0 +1,495 @@
+//! The differential oracle: four backends, three metamorphic checks, and
+//! the micro-architectural invariants, applied to one [`TestCase`].
+//!
+//! Backends compared (all must agree within the algorithm's
+//! [`comparison_tolerance`](gp_algorithms::DeltaAlgorithm::comparison_tolerance)):
+//!
+//! 1. the sequential golden engine (Algorithm 1 of the paper),
+//! 2. the cycle-level accelerator, run twice to also pin determinism,
+//! 3. the shard-parallel engine at 1, 2, and 4 workers — which must be not
+//!    just within tolerance of golden but **bit-identical** to each other,
+//! 4. the incremental engine over the overlay, after every update batch,
+//!    against a from-scratch golden run on the updated graph.
+//!
+//! Metamorphic checks: vertex relabeling (values commute with the
+//! permutation; for connected components, the partition does), edge-order
+//! permutation (builder canonicalization makes the CSR identical), and
+//! slice-count invariance (an undersized queue forcing `>= 2` slices must
+//! not change the fixed point). Micro-invariants: strict event
+//! conservation on single machines, bounded conservation on merged
+//! parallel reports.
+
+use gp_algorithms::engine::run_sequential;
+use gp_algorithms::{
+    max_abs_diff, Adsorption, AdsorptionParams, Bfs, ConnectedComponents, DeltaAlgorithm,
+    IncrementalAlgorithm, PageRankDelta, Sssp, Sswp,
+};
+use gp_graph::rng::{Rng, StdRng};
+use gp_graph::{CsrGraph, GraphBuilder, VertexId};
+use gp_stream::{IncrementalEngine, StreamConfig};
+use graphpulse_core::GraphPulse;
+
+use crate::case::{AlgoKind, TestCase};
+
+/// Propagation threshold the oracle's accumulative algorithms run with.
+pub const ORACLE_THRESHOLD: f64 = 1e-7;
+
+/// Salt mixed into [`TestCase::aux_seed`] for Adsorption parameters.
+const ADS_SALT: u64 = 0xAD50_0000_0000_0001;
+/// Salt mixed into [`TestCase::aux_seed`] for metamorphic permutations.
+const PERM_SALT: u64 = 0x9E3D_0000_0000_0002;
+
+/// A deliberately injected defect, used to validate that the harness (and
+/// its shrinker) actually detects divergences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Models a shard-inbox merge-order bug: after the single-worker
+    /// parallel run, vertex 0's merged value is skewed before comparison.
+    MergeSkew,
+}
+
+impl Fault {
+    /// Parses a CLI spelling of a fault.
+    pub fn parse(s: &str) -> Option<Fault> {
+        match s {
+            "merge-order" => Some(Fault::MergeSkew),
+            _ => None,
+        }
+    }
+}
+
+/// One failed oracle check.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Which check tripped (stable, log-friendly identifier).
+    pub check: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.check, self.detail)
+    }
+}
+
+fn fail(check: &'static str, detail: String) -> Failure {
+    Failure { check, detail }
+}
+
+/// The metamorphic permutation of a case, derived from its aux seed.
+fn metamorphic_perm(case: &TestCase) -> Vec<u32> {
+    StdRng::seed_from_u64(case.aux_seed ^ PERM_SALT).permutation(case.vertices.max(1))
+}
+
+/// Symmetric closure of `g`: both directions of every edge, same weights.
+fn symmetrize(g: &CsrGraph) -> CsrGraph {
+    let mut b = GraphBuilder::new(g.num_vertices());
+    b.weighted(g.is_weighted());
+    b.symmetric(true);
+    for v in g.vertices() {
+        for e in g.out_edges(v) {
+            b.add_edge(v, e.other, e.weight);
+        }
+    }
+    b.build()
+}
+
+/// Runs every oracle leg on `case`. `fault` injects a deliberate defect
+/// (see [`Fault`]) so the harness's own detection path can be exercised.
+///
+/// # Errors
+///
+/// Returns the first failed check.
+pub fn run_case(case: &TestCase, fault: Option<Fault>) -> Result<(), Failure> {
+    let g = case.build_graph();
+    let perm = metamorphic_perm(case);
+    let root = case.clamped_root();
+    let new_root = VertexId::new(perm[root.index()]);
+    match case.algo {
+        AlgoKind::PageRank => {
+            let algo = PageRankDelta::new(0.85, ORACLE_THRESHOLD);
+            check_differential(case, &g, &algo, fault)?;
+            check_relabel(&g, &algo, &algo, &perm, false)?;
+            check_incremental(case, &g, &algo)?;
+        }
+        AlgoKind::Adsorption => {
+            let params = AdsorptionParams::random(g.num_vertices(), case.aux_seed ^ ADS_SALT);
+            let algo = Adsorption::new(params, ORACLE_THRESHOLD);
+            // No relabel leg: the per-vertex parameters cannot be permuted
+            // alongside the vertices from outside the algorithm. No
+            // incremental leg: Adsorption is not an IncrementalAlgorithm
+            // (normalized inbound weights do not survive edge updates).
+            check_differential(case, &g, &algo, fault)?;
+        }
+        AlgoKind::Sssp => {
+            let algo = Sssp::new(root);
+            check_differential(case, &g, &algo, fault)?;
+            check_relabel(&g, &algo, &Sssp::new(new_root), &perm, false)?;
+            check_incremental(case, &g, &algo)?;
+        }
+        AlgoKind::Bfs => {
+            let algo = Bfs::new(root);
+            check_differential(case, &g, &algo, fault)?;
+            check_relabel(&g, &algo, &Bfs::new(new_root), &perm, false)?;
+            check_incremental(case, &g, &algo)?;
+        }
+        AlgoKind::Cc => {
+            let algo = ConnectedComponents::new();
+            check_differential(case, &g, &algo, fault)?;
+            // Component labels are vertex ids, so relabeling changes the
+            // values; what must be invariant is the partition itself — but
+            // only on the symmetric closure. On a directed graph the label
+            // is "largest id reaching v", and whether two vertices share it
+            // depends on which reacher carries the largest id, which a
+            // relabeling legitimately changes (e.g. a lone edge u -> v
+            // merges labels iff id(u) > id(v)). Symmetrizing commutes with
+            // relabeling and makes the partition the WCC partition, which
+            // is permutation-invariant.
+            check_relabel(&symmetrize(&g), &algo, &algo, &perm, true)?;
+            check_incremental(case, &g, &algo)?;
+        }
+        AlgoKind::Sswp => {
+            let algo = Sswp::new(root);
+            check_differential(case, &g, &algo, fault)?;
+            check_relabel(&g, &algo, &Sswp::new(new_root), &perm, false)?;
+            check_incremental(case, &g, &algo)?;
+        }
+    }
+    check_edge_order(case, &g)
+}
+
+/// Compares `got` against `want` within `tol`, `INFINITY`-aware.
+fn compare_values(
+    check: &'static str,
+    leg: &str,
+    got: &[f64],
+    want: &[f64],
+    tol: f64,
+) -> Result<(), Failure> {
+    if got.len() != want.len() {
+        return Err(fail(
+            check,
+            format!("{leg}: length {} vs golden {}", got.len(), want.len()),
+        ));
+    }
+    let diff = max_abs_diff(got, want);
+    if diff > tol {
+        let v = (0..got.len())
+            .find(|&i| {
+                if got[i].is_infinite()
+                    && want[i].is_infinite()
+                    && got[i].signum() == want[i].signum()
+                {
+                    return false;
+                }
+                let d = (got[i] - want[i]).abs();
+                d.is_nan() || d > tol
+            })
+            .unwrap_or(0);
+        return Err(fail(
+            check,
+            format!(
+                "{leg}: max |diff| {diff:e} > tolerance {tol:e} \
+                 (first at vertex {v}: got {}, golden {})",
+                got[v], want[v]
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Golden ≡ accelerator ≡ parallel × {1, 2, 4 workers}, plus determinism,
+/// event conservation, and slice-count invariance.
+fn check_differential<A: DeltaAlgorithm>(
+    case: &TestCase,
+    g: &CsrGraph,
+    algo: &A,
+    fault: Option<Fault>,
+) -> Result<(), Failure> {
+    let tol = algo.comparison_tolerance();
+    let golden = run_sequential(algo, g);
+
+    // Cycle-level accelerator, twice: functional agreement + determinism.
+    let cfg = case.machine.to_config();
+    let run = |label: &str| {
+        GraphPulse::new(cfg.clone())
+            .run(g, algo)
+            .map_err(|e| fail("accelerator-run", format!("{label}: {e}")))
+    };
+    let first = run("first run")?;
+    let second = run("second run")?;
+    compare_values(
+        "differential-accelerator",
+        "accelerator",
+        &first.values,
+        &golden.values,
+        tol,
+    )?;
+    if first
+        .values
+        .iter()
+        .map(|v| v.to_bits())
+        .ne(second.values.iter().map(|v| v.to_bits()))
+        || first.report.cycles != second.report.cycles
+        || first.report.edge_cache_hits != second.report.edge_cache_hits
+        || first.report.edge_cache_misses != second.report.edge_cache_misses
+    {
+        return Err(fail(
+            "accelerator-determinism",
+            format!(
+                "two identical runs diverged (cycles {} vs {}, cache {}/{} vs {}/{})",
+                first.report.cycles,
+                second.report.cycles,
+                first.report.edge_cache_hits,
+                first.report.edge_cache_misses,
+                second.report.edge_cache_hits,
+                second.report.edge_cache_misses
+            ),
+        ));
+    }
+    first
+        .report
+        .check_event_conservation(true)
+        .map_err(|e| fail("event-conservation", format!("accelerator: {e}")))?;
+
+    // Shard-parallel at 1/2/4 workers: within tolerance of golden, bounded
+    // conservation, and bit-identical to each other.
+    let mut parallel_cfg = cfg.clone();
+    let capacity = parallel_cfg.queue.capacity().max(1);
+    if parallel_cfg.parallel.shards > 0
+        && g.num_vertices().div_ceil(parallel_cfg.parallel.shards) > capacity
+    {
+        parallel_cfg.parallel.shards = 0; // forced count would not fit a slice
+    }
+    let mut outcomes = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let mut c = parallel_cfg.clone();
+        c.parallel.workers = workers;
+        let mut out = GraphPulse::new(c)
+            .run_parallel(g, algo)
+            .map_err(|e| fail("parallel-run", format!("{workers} workers: {e}")))?;
+        if workers == 1 && fault == Some(Fault::MergeSkew) && !out.values.is_empty() {
+            // Deliberate defect: skew the first merged value, as a
+            // mis-ordered shard-0 inbox merge would.
+            out.values[0] = if out.values[0].is_finite() {
+                out.values[0] + 1.0
+            } else {
+                0.0
+            };
+        }
+        compare_values(
+            "differential-parallel",
+            &format!("parallel ({workers} workers)"),
+            &out.values,
+            &golden.values,
+            tol,
+        )?;
+        out.report
+            .check_event_conservation(false)
+            .map_err(|e| fail("event-conservation", format!("parallel merge: {e}")))?;
+        outcomes.push((workers, out));
+    }
+    let (_, base) = &outcomes[0];
+    for (workers, out) in &outcomes[1..] {
+        let same_values = base
+            .values
+            .iter()
+            .map(|v| v.to_bits())
+            .eq(out.values.iter().map(|v| v.to_bits()));
+        if !same_values
+            || base.report.cycles != out.report.cycles
+            || base.report.events_processed != out.report.events_processed
+            || base.report.events_generated != out.report.events_generated
+            || base.report.events_spilled != out.report.events_spilled
+            || base.epochs != out.epochs
+            || base.shards != out.shards
+        {
+            return Err(fail(
+                "parallel-worker-invariance",
+                format!(
+                    "1 worker vs {workers} workers differ \
+                     (cycles {} vs {}, epochs {} vs {}, values equal: {same_values})",
+                    base.report.cycles, out.report.cycles, base.epochs, out.epochs
+                ),
+            ));
+        }
+    }
+
+    // Slice-count invariance: shrink the queue until the graph needs >= 2
+    // slices; the fixed point must not move.
+    let row_slots = cfg.queue.bins * cfg.queue.cols;
+    if g.num_vertices() >= 2 * row_slots {
+        let mut sliced = cfg.clone();
+        sliced.queue.rows = g.num_vertices().div_ceil(2 * row_slots);
+        let out = GraphPulse::new(sliced)
+            .run(g, algo)
+            .map_err(|e| fail("accelerator-run", format!("sliced run: {e}")))?;
+        if out.report.slices < 2 {
+            return Err(fail(
+                "metamorphic-slice-count",
+                format!(
+                    "undersized queue still ran {} slice(s) for {} vertices",
+                    out.report.slices,
+                    g.num_vertices()
+                ),
+            ));
+        }
+        compare_values(
+            "metamorphic-slice-count",
+            &format!("{} slices", out.report.slices),
+            &out.values,
+            &golden.values,
+            tol,
+        )?;
+        out.report
+            .check_event_conservation(true)
+            .map_err(|e| fail("event-conservation", format!("sliced run: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Vertex-relabeling invariance: running `relabeled_algo` on the
+/// isomorphic graph must commute with the permutation — by value for every
+/// algorithm except connected components, whose labels are vertex ids and
+/// must instead induce the same partition.
+fn check_relabel<A: DeltaAlgorithm>(
+    g: &CsrGraph,
+    algo: &A,
+    relabeled_algo: &A,
+    perm: &[u32],
+    as_partition: bool,
+) -> Result<(), Failure> {
+    let golden = run_sequential(algo, g).values;
+    let relabeled = run_sequential(relabeled_algo, &g.relabel(perm)).values;
+    if as_partition {
+        // label(v) == label(w)  <=>  label'(perm(v)) == label'(perm(w)):
+        // the value map golden -> relabeled must be a bijection.
+        let mut forward: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut backward: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for v in 0..golden.len() {
+            let a = golden[v].to_bits();
+            let b = relabeled[perm[v] as usize].to_bits();
+            if *forward.entry(a).or_insert(b) != b || *backward.entry(b).or_insert(a) != a {
+                return Err(fail(
+                    "metamorphic-relabel",
+                    format!(
+                        "partition differs at vertex {v}: label {} maps to {} \
+                         inconsistently",
+                        golden[v], relabeled[perm[v] as usize]
+                    ),
+                ));
+            }
+        }
+        return Ok(());
+    }
+    let tol = algo.comparison_tolerance();
+    let pulled: Vec<f64> = (0..golden.len())
+        .map(|v| relabeled[perm[v] as usize])
+        .collect();
+    compare_values(
+        "metamorphic-relabel",
+        "relabeled run",
+        &pulled,
+        &golden,
+        tol,
+    )
+}
+
+/// Edge-order-permutation invariance: the builder canonicalizes adjacency,
+/// so a shuffled edge list must produce the *identical* CSR (and therefore
+/// identical behavior everywhere downstream).
+fn check_edge_order(case: &TestCase, g: &CsrGraph) -> Result<(), Failure> {
+    let mut shuffled = case.clone();
+    StdRng::seed_from_u64(case.aux_seed ^ PERM_SALT).shuffle(&mut shuffled.edges);
+    let g2 = shuffled.build_graph();
+    if g2 != *g {
+        return Err(fail(
+            "metamorphic-edge-order",
+            format!(
+                "shuffled edge list built a different CSR \
+                 ({} vs {} edges after canonicalization)",
+                g2.num_edges(),
+                g.num_edges()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Incremental-over-overlay ≡ from-scratch golden after every update
+/// batch, plus a final cross-check against the accelerator on the fully
+/// updated graph.
+fn check_incremental<A>(case: &TestCase, g: &CsrGraph, algo: &A) -> Result<(), Failure>
+where
+    A: IncrementalAlgorithm + Clone,
+{
+    let tol = algo.comparison_tolerance();
+    let (mut engine, _) =
+        IncrementalEngine::new(algo.clone(), g.clone(), StreamConfig::golden(0.25))
+            .map_err(|e| fail("incremental-run", format!("initial run: {e}")))?;
+    compare_values(
+        "differential-incremental",
+        "initial convergence",
+        &engine.values(),
+        &run_sequential(algo, g).values,
+        tol,
+    )?;
+    for (i, batch) in case.update_batches().into_iter().enumerate() {
+        engine
+            .apply_batch(&batch)
+            .map_err(|e| fail("incremental-run", format!("batch {i}: {e}")))?;
+        let scratch = run_sequential(algo, &engine.graph().to_csr());
+        compare_values(
+            "differential-incremental",
+            &format!("after batch {i} ({} updates)", batch.len()),
+            &engine.values(),
+            &scratch.values,
+            tol,
+        )?;
+    }
+    // Tie the incremental leg back to the cycle-level model: the
+    // accelerator on the final graph must agree with the warm state.
+    let final_graph = engine.graph().to_csr();
+    let out = GraphPulse::new(case.machine.to_config())
+        .run(&final_graph, algo)
+        .map_err(|e| fail("accelerator-run", format!("post-update run: {e}")))?;
+    compare_values(
+        "differential-incremental",
+        "accelerator on updated graph",
+        &out.values,
+        &engine.values(),
+        tol,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::generate;
+
+    #[test]
+    fn clean_cases_pass_every_leg() {
+        for seed in [1u64, 2, 3, 4, 5, 6] {
+            let case = generate(seed);
+            run_case(&case, None)
+                .unwrap_or_else(|f| panic!("seed {seed} ({}) failed: {f}", case.algo.label()));
+        }
+    }
+
+    #[test]
+    fn injected_merge_skew_is_detected() {
+        for seed in [1u64, 2, 3] {
+            let case = generate(seed);
+            let failure = run_case(&case, Some(Fault::MergeSkew))
+                .expect_err("fault injection must be detected");
+            assert_eq!(failure.check, "differential-parallel");
+        }
+    }
+
+    #[test]
+    fn fault_parse_round_trip() {
+        assert_eq!(Fault::parse("merge-order"), Some(Fault::MergeSkew));
+        assert_eq!(Fault::parse("nope"), None);
+    }
+}

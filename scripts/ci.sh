@@ -23,4 +23,21 @@ echo "== streaming smoke (tiny update stream) =="
 cargo run --release -q -p gp-bench --bin streaming -- \
   --vertices 256 --batches 2 --batch-size 16
 
+echo "== fuzz smoke (fixed seed, byte-deterministic) =="
+cargo run --release -q -p gp-bench --bin fuzz -- --seed 7 --iters 50 \
+  > /tmp/gp-fuzz-a.log
+cargo run --release -q -p gp-bench --bin fuzz -- --seed 7 --iters 50 \
+  > /tmp/gp-fuzz-b.log
+diff /tmp/gp-fuzz-a.log /tmp/gp-fuzz-b.log \
+  || { echo "fuzz output not deterministic"; exit 1; }
+
+echo "== shrinker self-test (injected fault must be caught and shrunk) =="
+if cargo run --release -q -p gp-bench --bin fuzz -- \
+    --seed 7 --iters 5 --shrink --inject-fault merge-order \
+    > /tmp/gp-fuzz-fault.log 2>&1; then
+  echo "injected fault was NOT detected"; exit 1
+fi
+grep -q "minimal repro (ready-to-paste regression test):" /tmp/gp-fuzz-fault.log \
+  || { echo "no shrunk repro in fault output"; cat /tmp/gp-fuzz-fault.log; exit 1; }
+
 echo "CI gate passed."
