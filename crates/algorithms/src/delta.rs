@@ -96,6 +96,20 @@ pub trait DeltaAlgorithm: Send + Sync {
         None
     }
 
+    /// Scheduling urgency of a pending (already-coalesced) delta: larger
+    /// values ask to be drained sooner.
+    ///
+    /// Purely a performance hint for throughput backends that drain events
+    /// in priority buckets (the paper's §V observation: processing large
+    /// deltas first compounds more work per event and converges faster).
+    /// The reordering property of §II-B guarantees any drain order reaches
+    /// the same fixed point, so implementations are free to return a crude
+    /// estimate — or keep the default constant, which degrades scheduling
+    /// to arrival order. Must never return NaN.
+    fn urgency(&self, _delta: Self::Delta) -> f64 {
+        0.0
+    }
+
     /// Projects a final vertex state to `f64` for reporting and comparison.
     fn value_to_f64(&self, v: Self::Value) -> f64;
 

@@ -1,0 +1,42 @@
+//! Schema validator for the machine-readable bench output.
+//!
+//! ```text
+//! cargo run -p gp-bench --bin bench_check -- BENCH_end_to_end.json [...]
+//! ```
+//!
+//! For every path given: the file must exist, parse as JSON, carry the
+//! `gp-bench/end_to_end/v1` schema tag, contain at least one entry, and
+//! every entry must have the required keys with positive throughput on
+//! both backends (see `gp_bench::json::validate_end_to_end`). Exits 0 when
+//! every file passes, 1 with a readable diagnosis otherwise — CI runs this
+//! so the bench binary can never silently stop emitting measurements.
+
+use gp_bench::json::{validate_end_to_end, Json};
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("`{path}` is not valid JSON: {e}"))?;
+    validate_end_to_end(&doc).map_err(|e| format!("`{path}` failed schema check: {e}"))?;
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .map_or(0, |a| a.len());
+    println!("ok: {path} ({entries} entries)");
+    Ok(())
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() || paths.iter().any(|p| p == "--help" || p == "-h") {
+        eprintln!("usage: bench_check <BENCH_*.json> [more.json ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        if let Err(e) = check(path) {
+            eprintln!("error: {e}");
+            failed = true;
+        }
+    }
+    std::process::exit(i32::from(failed));
+}

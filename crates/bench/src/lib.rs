@@ -31,6 +31,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use gp_algorithms::{
     normalize_inbound, Adsorption, AdsorptionParams, Bfs, ConnectedComponents, PageRankDelta, Sssp,
 };
@@ -504,8 +506,34 @@ pub mod microbench {
     }
 }
 
-fn write_csv(title: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
-    use std::io::Write;
+/// Writes `contents` to `path`, creating missing parent directories.
+///
+/// This is the one chokepoint every bench binary's file output goes
+/// through (`figures/*.csv`, `BENCH_*.json`), so a missing or unwritable
+/// output directory fails with a readable, path-carrying message instead
+/// of a panic or a bare `os error`.
+///
+/// # Errors
+///
+/// Returns a human-readable description naming the path and the failing
+/// step (directory creation vs. file write).
+pub fn write_output(path: &std::path::Path, contents: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                format!(
+                    "could not create output directory `{}` for `{}`: {e}",
+                    parent.display(),
+                    path.display()
+                )
+            })?;
+        }
+    }
+    std::fs::write(path, contents)
+        .map_err(|e| format!("could not write output file `{}`: {e}", path.display()))
+}
+
+fn write_csv(title: &str, header: &[&str], rows: &[Vec<String>]) -> Result<(), String> {
     let slug: String = title
         .chars()
         .map(|c| {
@@ -521,13 +549,17 @@ fn write_csv(title: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Res
         .collect::<Vec<_>>()
         .join("-");
     let slug: String = slug.chars().take(60).collect();
-    std::fs::create_dir_all("figures")?;
-    let mut f = std::fs::File::create(format!("figures/{slug}.csv"))?;
-    writeln!(f, "{}", header.join(","))?;
+    let mut contents = String::new();
+    contents.push_str(&header.join(","));
+    contents.push('\n');
     for row in rows {
-        writeln!(f, "{}", row.join(","))?;
+        contents.push_str(&row.join(","));
+        contents.push('\n');
     }
-    Ok(())
+    write_output(
+        std::path::Path::new(&format!("figures/{slug}.csv")),
+        &contents,
+    )
 }
 
 #[cfg(test)]
@@ -608,6 +640,37 @@ mod tests {
         let cap = cfg.queue.capacity();
         let slices = p.graph.num_vertices().div_ceil(cap);
         assert!((2..=4).contains(&slices), "got {slices} slices");
+    }
+
+    #[test]
+    fn write_output_creates_parent_dirs_and_reports_readable_errors() {
+        let base = std::env::temp_dir().join(format!("gp-bench-out-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+
+        // Nested directories that do not exist yet are created.
+        let nested = base.join("figures").join("deep").join("out.csv");
+        write_output(&nested, "a,b\n1,2\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&nested).unwrap(), "a,b\n1,2\n");
+
+        // A file squatting on the directory path yields a readable error
+        // that names the path — not a panic.
+        let squatter = base.join("blocked");
+        std::fs::write(&squatter, "i am a file").unwrap();
+        let err = write_output(&squatter.join("x.json"), "{}").unwrap_err();
+        assert!(
+            err.contains("could not create output directory") && err.contains("blocked"),
+            "unreadable error: {err}"
+        );
+
+        // An unwritable target (the path IS a directory) also reports.
+        let dir_target = base.join("figures");
+        let err = write_output(&dir_target, "text").unwrap_err();
+        assert!(
+            err.contains("could not write output file") && err.contains("figures"),
+            "unreadable error: {err}"
+        );
+
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

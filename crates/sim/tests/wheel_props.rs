@@ -1,0 +1,174 @@
+//! Property tests for [`gp_sim::HierarchicalWheel`]: insertion/drain
+//! ordering, overflow ("too far in the future") handoff, and cascade
+//! correctness, checked against a sorted [`BinaryHeap`] reference on
+//! seeded random event streams.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use gp_sim::rng::{Rng, StdRng};
+use gp_sim::{HierarchicalWheel, WheelOverflow};
+
+/// Exact reference scheduler: a min-heap of `(key, seq)` pairs, which is
+/// precisely the drain contract (nondecreasing key, FIFO within a key).
+#[derive(Default)]
+struct HeapRef {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    seq: u64,
+}
+
+impl HeapRef {
+    fn insert(&mut self, key: u64) -> u64 {
+        let seq = self.seq;
+        self.heap.push(Reverse((key, seq)));
+        self.seq += 1;
+        seq
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        self.heap.pop().map(|Reverse(p)| p)
+    }
+}
+
+#[test]
+fn random_streams_drain_in_reference_order() {
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let slots = [2u64, 4, 8, 16][rng.gen_range(0..4usize)];
+        let levels = rng.gen_range(1..4usize);
+        let mut wheel: HierarchicalWheel<u64> = HierarchicalWheel::new(slots, levels);
+        let mut reference = HeapRef::default();
+
+        // Interleave bursts of inserts with partial drains so `now`
+        // advances mid-stream and late keys exercise the clamping path.
+        for _ in 0..rng.gen_range(4..12usize) {
+            for _ in 0..rng.gen_range(1..40usize) {
+                // Bias keys into the horizon but overshoot sometimes.
+                let key = wheel.now() + rng.gen_range(0..wheel.horizon() + wheel.horizon() / 2);
+                match wheel.insert(key, 0) {
+                    Ok(effective) => {
+                        assert!(key < wheel.now() + wheel.horizon());
+                        assert_eq!(effective, key.max(wheel.now()));
+                        reference.insert(effective);
+                    }
+                    Err(WheelOverflow { key: k, payload: _ }) => {
+                        assert_eq!(k, key, "overflow must hand the key back verbatim");
+                        assert!(
+                            k >= wheel.now() + wheel.horizon(),
+                            "only beyond-horizon keys may overflow (key {k}, now {}, horizon {})",
+                            wheel.now(),
+                            wheel.horizon()
+                        );
+                    }
+                }
+            }
+            for _ in 0..rng.gen_range(0..30usize) {
+                match (wheel.pop(), reference.pop()) {
+                    (None, None) => break,
+                    (got, want) => {
+                        let (got_key, _) = got.expect("wheel drained early");
+                        let (want_key, _) = want.expect("wheel has spurious payloads");
+                        assert_eq!(got_key, want_key, "seed {seed}: key order diverged");
+                    }
+                }
+            }
+        }
+        // Full final drain must empty both in lockstep.
+        loop {
+            match (wheel.pop(), reference.pop()) {
+                (None, None) => break,
+                (got, want) => {
+                    let (got_key, _) = got.expect("wheel drained early");
+                    let (want_key, _) = want.expect("wheel has spurious payloads");
+                    assert_eq!(got_key, want_key, "seed {seed}: final drain diverged");
+                }
+            }
+        }
+        assert!(wheel.is_empty());
+    }
+}
+
+#[test]
+fn fifo_within_a_key_survives_cascades() {
+    // Payloads carry their insertion index; within every key the drained
+    // batch must be in ascending insertion order even when the key sat in
+    // a coarse level first and cascaded down.
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(0xF1F0 ^ seed);
+        let mut wheel: HierarchicalWheel<u64> = HierarchicalWheel::new(4, 3); // horizon 64
+        let mut inserted: Vec<(u64, u64)> = Vec::new();
+        for i in 0..200u64 {
+            let key = rng.gen_range(0..64u64);
+            if wheel.insert(key, i).is_ok() {
+                inserted.push((key, i));
+            }
+        }
+        inserted.sort(); // (key, insertion index): the exact expected order
+        let mut drained = Vec::new();
+        while let Some((key, batch)) = wheel.drain_next() {
+            for p in batch {
+                drained.push((key, p));
+            }
+        }
+        assert_eq!(drained, inserted, "seed {seed}");
+    }
+}
+
+#[test]
+fn cascades_preserve_every_payload_across_level_boundaries() {
+    // One payload per key over several full level-boundary crossings:
+    // nothing may be lost, duplicated, or drained at the wrong key.
+    let mut wheel: HierarchicalWheel<u64> = HierarchicalWheel::new(4, 3); // horizon 64
+    let keys: Vec<u64> = (0..64).step_by(3).collect(); // hits all 3 levels
+    for &k in &keys {
+        assert_eq!(wheel.insert(k, k * 10), Ok(k));
+    }
+    let mut seen = Vec::new();
+    while let Some((key, batch)) = wheel.drain_next() {
+        assert_eq!(batch, vec![key * 10], "payload must drain at its own key");
+        seen.push(key);
+    }
+    assert_eq!(seen, keys);
+}
+
+#[test]
+fn overflow_handoff_round_trips_after_advancing() {
+    let mut wheel: HierarchicalWheel<&str> = HierarchicalWheel::new(4, 2); // horizon 16
+    wheel.insert(10, "advance-past-me").unwrap();
+
+    // Beyond the horizon: handed back, wheel untouched.
+    let overflow = wheel.insert(20, "parked").unwrap_err();
+    assert_eq!(overflow.key, 20);
+    assert_eq!(wheel.len(), 1);
+
+    // After draining advances `now`, the parked payload fits and drains at
+    // its original key — the caller-side half of the handoff protocol.
+    assert_eq!(wheel.drain_next(), Some((10, vec!["advance-past-me"])));
+    assert!(overflow.key < wheel.now() + wheel.horizon());
+    assert_eq!(wheel.insert(overflow.key, overflow.payload), Ok(20));
+    assert_eq!(wheel.drain_next(), Some((20, vec!["parked"])));
+    assert!(wheel.is_empty());
+}
+
+#[test]
+fn len_tracks_inserts_drains_and_cascades() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut wheel: HierarchicalWheel<u64> = HierarchicalWheel::new(8, 2); // horizon 64
+    let mut resident = 0usize;
+    for i in 0..500u64 {
+        let key = wheel.now() + rng.gen_range(0..64u64);
+        if wheel.insert(key, i).is_ok() {
+            resident += 1;
+        }
+        assert_eq!(wheel.len(), resident);
+        if rng.gen_bool(0.3) {
+            if let Some((_, batch)) = wheel.drain_next() {
+                resident -= batch.len();
+            }
+            assert_eq!(wheel.len(), resident);
+        }
+    }
+    while wheel.drain_next().is_some() {}
+    assert!(wheel.is_empty());
+    assert_eq!(wheel.len(), 0);
+}

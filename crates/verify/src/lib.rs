@@ -1,12 +1,13 @@
 //! # gp-verify — differential fuzzing and invariant checking
 //!
-//! The workspace has four independent ways to compute the same
+//! The workspace has five independent ways to compute the same
 //! delta-accumulative fixed point: the sequential golden engine
 //! (`gp_algorithms::engine::run_sequential`), the cycle-level accelerator
 //! ([`graphpulse_core::GraphPulse::run`]), the shard-parallel engine
-//! ([`graphpulse_core::GraphPulse::run_parallel`]), and the incremental
-//! engine over the CSR overlay ([`gp_stream::IncrementalEngine`]). This
-//! crate cross-checks all of them on randomized inputs, deterministically:
+//! ([`graphpulse_core::GraphPulse::run_parallel`]), the incremental
+//! engine over the CSR overlay ([`gp_stream::IncrementalEngine`]), and the
+//! speed-first turbo engine ([`gp_turbo::run_turbo`]). This crate
+//! cross-checks all of them on randomized inputs, deterministically:
 //!
 //! * [`case`] — random test cases (R-MAT / degree-skewed / uniform graphs,
 //!   randomized machine geometries, insert/delete update streams), fully

@@ -1,4 +1,4 @@
-//! The differential oracle: four backends, three metamorphic checks, and
+//! The differential oracle: five backends, three metamorphic checks, and
 //! the micro-architectural invariants, applied to one [`TestCase`].
 //!
 //! Backends compared (all must agree within the algorithm's
@@ -9,7 +9,9 @@
 //! 3. the shard-parallel engine at 1, 2, and 4 workers — which must be not
 //!    just within tolerance of golden but **bit-identical** to each other,
 //! 4. the incremental engine over the overlay, after every update batch,
-//!    against a from-scratch golden run on the updated graph.
+//!    against a from-scratch golden run on the updated graph,
+//! 5. the turbo engine (speed-first, delta-prioritized draining), run
+//!    twice to also pin its determinism.
 //!
 //! Metamorphic checks: vertex relabeling (values commute with the
 //! permutation; for connected components, the partition does), edge-order
@@ -27,6 +29,7 @@ use gp_algorithms::{
 use gp_graph::rng::{Rng, StdRng};
 use gp_graph::{CsrGraph, GraphBuilder, VertexId};
 use gp_stream::{IncrementalEngine, StreamConfig};
+use gp_turbo::{run_turbo, TurboConfig};
 use graphpulse_core::GraphPulse;
 
 use crate::case::{AlgoKind, TestCase};
@@ -209,6 +212,42 @@ fn check_differential<A: DeltaAlgorithm>(
 ) -> Result<(), Failure> {
     let tol = algo.comparison_tolerance();
     let golden = run_sequential(algo, g);
+
+    // Turbo engine, twice: functional agreement of the speed-first backend
+    // plus its bit-determinism (oracle leg 5).
+    let turbo_cfg = TurboConfig::default();
+    let t1 = run_turbo(algo, g, &turbo_cfg);
+    let t2 = run_turbo(algo, g, &turbo_cfg);
+    compare_values(
+        "differential-turbo",
+        "turbo",
+        &t1.values,
+        &golden.values,
+        tol,
+    )?;
+    if t1
+        .values
+        .iter()
+        .map(|v| v.to_bits())
+        .ne(t2.values.iter().map(|v| v.to_bits()))
+        || t1.events_processed != t2.events_processed
+        || t1.events_generated != t2.events_generated
+        || t1.rounds != t2.rounds
+    {
+        return Err(fail(
+            "turbo-determinism",
+            format!(
+                "two identical turbo runs diverged \
+                 (processed {} vs {}, generated {} vs {}, rounds {} vs {})",
+                t1.events_processed,
+                t2.events_processed,
+                t1.events_generated,
+                t2.events_generated,
+                t1.rounds,
+                t2.rounds
+            ),
+        ));
+    }
 
     // Cycle-level accelerator, twice: functional agreement + determinism.
     let cfg = case.machine.to_config();

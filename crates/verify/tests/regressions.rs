@@ -1,0 +1,124 @@
+//! Shrinker-produced fuzz repros, promoted to permanent regression tests.
+//!
+//! Each case below was found by the fuzz driver under an injected
+//! `merge-order` fault (`fuzz --seed N --iters 200 --inject-fault
+//! merge-order`) and minimized by the ddmin shrinker to a single-vertex
+//! machine-geometry nucleus. They are kept in two forms: clean runs (the
+//! shrunk case must pass every oracle leg with no fault — pinning that the
+//! shrinker emits *valid* cases), and faulted runs (the injected defect
+//! must still be caught on the minimal geometry — pinning the oracle's
+//! detection floor).
+
+use gp_verify::{run_case, AlgoKind, Fault, MachineParams, TestCase};
+
+/// Shrunk from fuzz `--seed 7`: SSWP on a single isolated root. Failing
+/// check was `differential-parallel`
+/// (`max |diff| inf > tolerance 0e0`, vertex 0: got 0, golden inf).
+fn repro_seed7_sswp_isolated_root() -> TestCase {
+    TestCase {
+        vertices: 1,
+        edges: vec![],
+        algo: AlgoKind::Sswp,
+        root: 0,
+        aux_seed: 5688135274254200921,
+        updates: vec![],
+        batch_size: 10,
+        machine: MachineParams {
+            processors: 1,
+            gen_streams: 3,
+            queue_bins: 1,
+            queue_rows: 13,
+            queue_cols: 1,
+            coalescer_depth: 1,
+            prefetch: false,
+            occupancy_first: false,
+            single_channel_dram: false,
+            epoch_cycles: 128,
+            forced_shards: 1,
+        },
+    }
+}
+
+/// Shrunk from fuzz `--seed 8`: BFS, two processors, occupancy-first
+/// draining, forced two shards on one vertex. Failing check was
+/// `differential-parallel` (`max |diff| 1e0`, vertex 0: got 1, golden 0).
+fn repro_seed8_bfs_forced_shards() -> TestCase {
+    TestCase {
+        vertices: 1,
+        edges: vec![],
+        algo: AlgoKind::Bfs,
+        root: 0,
+        aux_seed: 17764872561908459043,
+        updates: vec![],
+        batch_size: 12,
+        machine: MachineParams {
+            processors: 2,
+            gen_streams: 1,
+            queue_bins: 2,
+            queue_rows: 23,
+            queue_cols: 1,
+            coalescer_depth: 1,
+            prefetch: false,
+            occupancy_first: true,
+            single_channel_dram: true,
+            epoch_cycles: 128,
+            forced_shards: 2,
+        },
+    }
+}
+
+/// Shrunk from fuzz `--seed 9`: SSSP with prefetch, deep coalescer, and
+/// three forced shards. Failing check was `differential-parallel`
+/// (`max |diff| 1e0`, vertex 0: got 1, golden 0).
+fn repro_seed9_sssp_prefetch() -> TestCase {
+    TestCase {
+        vertices: 1,
+        edges: vec![],
+        algo: AlgoKind::Sssp,
+        root: 0,
+        aux_seed: 8653046082777018145,
+        updates: vec![],
+        batch_size: 10,
+        machine: MachineParams {
+            processors: 3,
+            gen_streams: 2,
+            queue_bins: 1,
+            queue_rows: 19,
+            queue_cols: 4,
+            coalescer_depth: 4,
+            prefetch: true,
+            occupancy_first: false,
+            single_channel_dram: true,
+            epoch_cycles: 1024,
+            forced_shards: 3,
+        },
+    }
+}
+
+#[test]
+fn fuzz_regression_seed7_sswp_isolated_root() {
+    run_case(&repro_seed7_sswp_isolated_root(), None).unwrap();
+}
+
+#[test]
+fn fuzz_regression_seed8_bfs_forced_shards() {
+    run_case(&repro_seed8_bfs_forced_shards(), None).unwrap();
+}
+
+#[test]
+fn fuzz_regression_seed9_sssp_prefetch() {
+    run_case(&repro_seed9_sssp_prefetch(), None).unwrap();
+}
+
+#[test]
+fn shrunk_repros_still_trip_the_oracle_under_the_original_fault() {
+    for (name, case) in [
+        ("seed7-sswp", repro_seed7_sswp_isolated_root()),
+        ("seed8-bfs", repro_seed8_bfs_forced_shards()),
+        ("seed9-sssp", repro_seed9_sssp_prefetch()),
+    ] {
+        let failure = run_case(&case, Some(Fault::MergeSkew))
+            .expect_err("minimal geometry must still expose the injected fault");
+        assert_eq!(failure.check, "differential-parallel", "{name}: {failure}");
+    }
+}

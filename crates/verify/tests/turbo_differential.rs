@@ -1,0 +1,143 @@
+//! Turbo-vs-golden differential tests outside the fuzz driver.
+//!
+//! The fuzzer exercises the turbo leg on random seeds; these tests pin it
+//! on the fixed-seed corpus from [`gp_verify::generate`] (R-MAT,
+//! Barabási–Albert, and Erdős–Rényi families across all six algorithms),
+//! plus a standalone determinism check: two runs must be byte-identical in
+//! values, counters, and rendered logs.
+
+use gp_algorithms::engine::run_sequential;
+use gp_algorithms::{
+    max_abs_diff, Adsorption, AdsorptionParams, Bfs, ConnectedComponents, DeltaAlgorithm,
+    PageRankDelta, Sssp, Sswp,
+};
+use gp_graph::CsrGraph;
+use gp_turbo::{run_turbo, TurboConfig, TurboOutcome};
+use gp_verify::oracle::ORACLE_THRESHOLD;
+use gp_verify::{generate, AlgoKind};
+
+/// Runs turbo and golden on the same graph; exact (bit-level) agreement
+/// for monotone algorithms, tolerance-bounded for accumulative ones.
+fn assert_turbo_matches<A: DeltaAlgorithm>(seed: u64, algo: &A, g: &CsrGraph, exact: bool) {
+    let golden = run_sequential(algo, g);
+    let turbo = run_turbo(algo, g, &TurboConfig::default());
+    assert_eq!(
+        turbo.values.len(),
+        golden.values.len(),
+        "seed {seed} ({}): length mismatch",
+        algo.name()
+    );
+    if exact {
+        let tb: Vec<u64> = turbo.values.iter().map(|v| v.to_bits()).collect();
+        let gb: Vec<u64> = golden.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(tb, gb, "seed {seed} ({}): not bit-exact", algo.name());
+    } else {
+        let tol = algo.comparison_tolerance();
+        let diff = max_abs_diff(&turbo.values, &golden.values);
+        assert!(
+            diff <= tol,
+            "seed {seed} ({}): max |diff| {diff:e} > tolerance {tol:e}",
+            algo.name()
+        );
+    }
+    // Nothing may be lost: every generated event is coalesced or applied.
+    assert_eq!(
+        turbo.events_generated,
+        turbo.events_coalesced + turbo.events_processed,
+        "seed {seed} ({}): event accounting leaked",
+        algo.name()
+    );
+}
+
+fn check_seed(seed: u64) -> AlgoKind {
+    let case = generate(seed);
+    let g = case.build_graph();
+    let root = case.clamped_root();
+    match case.algo {
+        AlgoKind::PageRank => {
+            let algo = PageRankDelta::new(0.85, ORACLE_THRESHOLD);
+            assert_turbo_matches(seed, &algo, &g, false);
+        }
+        AlgoKind::Adsorption => {
+            let algo = Adsorption::new(
+                AdsorptionParams::random(g.num_vertices(), case.aux_seed),
+                ORACLE_THRESHOLD,
+            );
+            assert_turbo_matches(seed, &algo, &g, false);
+        }
+        AlgoKind::Sssp => assert_turbo_matches(seed, &Sssp::new(root), &g, true),
+        AlgoKind::Bfs => assert_turbo_matches(seed, &Bfs::new(root), &g, true),
+        AlgoKind::Cc => assert_turbo_matches(seed, &ConnectedComponents::new(), &g, true),
+        AlgoKind::Sswp => assert_turbo_matches(seed, &Sswp::new(root), &g, true),
+    }
+    case.algo
+}
+
+#[test]
+fn turbo_matches_golden_on_the_fixed_seed_corpus() {
+    // 48 seeds are enough for every algorithm and graph family to appear
+    // (gp_verify::case tests pin this for 64; track coverage here too).
+    let mut seen = [false; 6];
+    for seed in 0..48u64 {
+        let kind = check_seed(seed);
+        let idx = AlgoKind::ALL.iter().position(|&k| k == kind).unwrap();
+        seen[idx] = true;
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "corpus did not cover all six algorithms: {seen:?}"
+    );
+}
+
+#[test]
+fn turbo_is_byte_deterministic_on_the_corpus() {
+    let cfg = TurboConfig {
+        record_rounds: true,
+        ..TurboConfig::default()
+    };
+    let fingerprint = |o: &TurboOutcome| {
+        let bits: Vec<u64> = o.values.iter().map(|v| v.to_bits()).collect();
+        (bits, o.render_log())
+    };
+    for seed in [7u64, 8, 9, 10, 11, 12] {
+        let case = generate(seed);
+        let g = case.build_graph();
+        let root = case.clamped_root();
+        let (a, b) = match case.algo {
+            AlgoKind::PageRank => {
+                let algo = PageRankDelta::new(0.85, ORACLE_THRESHOLD);
+                (run_turbo(&algo, &g, &cfg), run_turbo(&algo, &g, &cfg))
+            }
+            AlgoKind::Adsorption => {
+                let algo = Adsorption::new(
+                    AdsorptionParams::random(g.num_vertices(), case.aux_seed),
+                    ORACLE_THRESHOLD,
+                );
+                (run_turbo(&algo, &g, &cfg), run_turbo(&algo, &g, &cfg))
+            }
+            AlgoKind::Sssp => {
+                let algo = Sssp::new(root);
+                (run_turbo(&algo, &g, &cfg), run_turbo(&algo, &g, &cfg))
+            }
+            AlgoKind::Bfs => {
+                let algo = Bfs::new(root);
+                (run_turbo(&algo, &g, &cfg), run_turbo(&algo, &g, &cfg))
+            }
+            AlgoKind::Cc => {
+                let algo = ConnectedComponents::new();
+                (run_turbo(&algo, &g, &cfg), run_turbo(&algo, &g, &cfg))
+            }
+            AlgoKind::Sswp => {
+                let algo = Sswp::new(root);
+                (run_turbo(&algo, &g, &cfg), run_turbo(&algo, &g, &cfg))
+            }
+        };
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "seed {seed} ({}): two runs diverged",
+            case.algo.label()
+        );
+        assert!(!a.render_log().is_empty());
+    }
+}

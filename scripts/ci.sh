@@ -40,4 +40,15 @@ fi
 grep -q "minimal repro (ready-to-paste regression test):" /tmp/gp-fuzz-fault.log \
   || { echo "no shrunk repro in fault output"; cat /tmp/gp-fuzz-fault.log; exit 1; }
 
+echo "== turbo-vs-golden smoke + BENCH json schema check =="
+# Quick trajectory (2^12): every point cross-checks turbo against the
+# sequential golden engine, so a semantic regression in gp-turbo fails here.
+TURBO_LOG2=12 cargo bench -q -p gp-bench --bench end_to_end -- \
+  --turbo-only --json /tmp/gp-bench-e2e.json
+# The freshly emitted JSON and the committed trajectory must both satisfy
+# the schema (parseable, required keys, events/sec > 0) — if the bench
+# binary ever stops emitting complete measurements, CI fails.
+cargo run --release -q -p gp-bench --bin bench_check -- \
+  /tmp/gp-bench-e2e.json BENCH_end_to_end.json
+
 echo "CI gate passed."

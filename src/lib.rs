@@ -13,4 +13,5 @@ pub use gp_graph as graph;
 pub use gp_mem as mem;
 pub use gp_sim as sim;
 pub use gp_stream as stream;
+pub use gp_turbo as turbo;
 pub use graphpulse_core as core;
