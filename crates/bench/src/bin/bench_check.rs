@@ -4,24 +4,43 @@
 //! cargo run -p gp-bench --bin bench_check -- BENCH_end_to_end.json [...]
 //! ```
 //!
-//! For every path given: the file must exist, parse as JSON, carry the
-//! `gp-bench/end_to_end/v1` schema tag, contain at least one entry, and
-//! every entry must have the required keys with positive throughput on
-//! both backends (see `gp_bench::json::validate_end_to_end`). Exits 0 when
-//! every file passes, 1 with a readable diagnosis otherwise — CI runs this
-//! so the bench binary can never silently stop emitting measurements.
+//! For every path given: the file must exist, parse as JSON, and carry a
+//! known schema tag, which selects the validator — `gp-bench/end_to_end/v1`
+//! documents go through `gp_bench::json::validate_end_to_end` (required
+//! keys, positive throughput on both backends) and `gp-bench/chaos/v1`
+//! documents through `gp_bench::json::validate_chaos` (every scenario
+//! detected and recovered, overhead baselines bit-exact, summary present).
+//! Exits 0 when every file passes, 1 with a readable diagnosis otherwise —
+//! CI runs this so the bench binaries can never silently stop emitting
+//! measurements.
 
-use gp_bench::json::{validate_end_to_end, Json};
+use gp_bench::json::{validate_chaos, validate_end_to_end, Json, CHAOS_SCHEMA, END_TO_END_SCHEMA};
+
+type Validator = fn(&Json) -> Result<(), String>;
 
 fn check(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("`{path}` is not valid JSON: {e}"))?;
-    validate_end_to_end(&doc).map_err(|e| format!("`{path}` failed schema check: {e}"))?;
-    let entries = doc
-        .get("entries")
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("`{path}` has no string key \"schema\""))?;
+    let (validate, count_key): (Validator, &str) = match schema {
+        END_TO_END_SCHEMA => (validate_end_to_end, "entries"),
+        CHAOS_SCHEMA => (validate_chaos, "scenarios"),
+        other => {
+            return Err(format!(
+                "`{path}` has unknown schema {other:?} \
+                 (known: {END_TO_END_SCHEMA:?}, {CHAOS_SCHEMA:?})"
+            ))
+        }
+    };
+    validate(&doc).map_err(|e| format!("`{path}` failed schema check: {e}"))?;
+    let count = doc
+        .get(count_key)
         .and_then(Json::as_arr)
         .map_or(0, |a| a.len());
-    println!("ok: {path} ({entries} entries)");
+    println!("ok: {path} ({count} {count_key})");
     Ok(())
 }
 

@@ -2,28 +2,48 @@
 //!
 //! Thin CLI over [`gp_verify::run_fuzz`]: every iteration generates a
 //! seed-determined random case (graph, machine, update stream), runs the
-//! golden / accelerator / shard-parallel / incremental differential
-//! oracle plus the metamorphic and micro-architectural invariant checks,
-//! and on failure shrinks to a minimal repro printed as a ready-to-paste
-//! regression test. Same seed, same output — byte for byte.
+//! golden / accelerator / shard-parallel / incremental / turbo / chaos
+//! differential oracle plus the metamorphic and micro-architectural
+//! invariant checks, and on failure shrinks to a minimal repro printed as
+//! a ready-to-paste regression test. Same seed, same output — byte for
+//! byte.
+//!
+//! `--inject-fault F` deliberately injects one of the `gp-chaos` fault
+//! kinds to self-test the harness's detection paths, and `--chaos` runs
+//! the full fault-injection campaign (every kind × every backend,
+//! detect → recover → bit-exact) instead of the fuzz loop.
 
 use gp_verify::{Fault, FuzzConfig};
 
-const USAGE: &str = "\
+fn usage() -> String {
+    format!(
+        "\
 Usage: fuzz [flags]
   --seed S              master seed (default 7)
   --iters N             iterations to run (default 50)
   --shrink              shrink the first failing case (default)
   --no-shrink           report the failing case unshrunk
   --inject-fault F      deliberately inject a defect to self-test the
-                        harness; F is one of: merge-order
+                        harness; F is one of: {kinds}
+  --chaos               run the fault-injection campaign (every fault
+                        kind x backend, detect/recover/verify) instead
+                        of the fuzz loop; uses --seed
   --help                print this reference and exit
 
-Exit status: 0 when every iteration passes, 1 on an oracle failure,
-2 on a bad invocation.";
+Exit status: 0 when every iteration passes, 1 on an oracle or campaign
+failure, 2 on a bad invocation.",
+        kinds = Fault::labels().join(", ")
+    )
+}
 
-fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<FuzzConfig>, String> {
+struct Invocation {
+    cfg: FuzzConfig,
+    chaos: bool,
+}
+
+fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Invocation>, String> {
     let mut cfg = FuzzConfig::default();
+    let mut chaos = false;
     while let Some(flag) = args.next() {
         let mut value = || {
             args.next()
@@ -45,30 +65,52 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<FuzzConfig>, S
             }
             "--shrink" => cfg.shrink = true,
             "--no-shrink" => cfg.shrink = false,
+            "--chaos" => chaos = true,
             "--inject-fault" => {
                 let v = value()?;
-                cfg.fault = Some(Fault::parse(&v).ok_or_else(|| format!("unknown fault {v:?}"))?);
+                cfg.fault = Some(Fault::parse(&v).ok_or_else(|| {
+                    format!(
+                        "unknown fault {v:?}; valid kinds: {}",
+                        Fault::labels().join(", ")
+                    )
+                })?);
             }
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(Some(cfg))
+    Ok(Some(Invocation { cfg, chaos }))
 }
 
 fn main() {
-    let cfg = match parse(std::env::args().skip(1)) {
-        Ok(Some(cfg)) => cfg,
+    let inv = match parse(std::env::args().skip(1)) {
+        Ok(Some(inv)) => inv,
         Ok(None) => {
-            println!("{USAGE}");
+            println!("{}", usage());
             return;
         }
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            eprintln!("error: {e}\n\n{}", usage());
             std::process::exit(2);
         }
     };
+    if inv.chaos {
+        let report = gp_chaos::run_campaign(inv.cfg.seed);
+        print!("{}", report.render_log());
+        if !report.failures().is_empty() {
+            std::process::exit(1);
+        }
+        return;
+    }
     let mut out = std::io::stdout().lock();
-    let report = gp_verify::run_fuzz(&cfg, &mut out).expect("writing to stdout failed");
+    let report = match gp_verify::run_fuzz(&inv.cfg, &mut out) {
+        Ok(report) => report,
+        Err(e) => {
+            // stdout vanished mid-run (closed pipe, full disk): report on
+            // stderr instead of panicking with a raw io::Error.
+            eprintln!("error: could not write the fuzz log to stdout: {e}");
+            std::process::exit(1);
+        }
+    };
     if !report.passed() {
         std::process::exit(1);
     }

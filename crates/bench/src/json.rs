@@ -393,6 +393,139 @@ pub fn validate_end_to_end(doc: &Json) -> Result<(), String> {
 /// Schema tag `validate_end_to_end` requires.
 pub const END_TO_END_SCHEMA: &str = "gp-bench/end_to_end/v1";
 
+/// Schema tag `validate_chaos` requires.
+pub const CHAOS_SCHEMA: &str = "gp-bench/chaos/v1";
+
+/// Validates a `BENCH_chaos.json` document: schema tag, non-empty
+/// scenario list with the fault-injection campaign's invariants (every
+/// scenario detected its fault and recovered to the reference — the
+/// "never silently wrong" contract), per-algorithm checkpoint-overhead
+/// records, and the MTTR-style summary block.
+///
+/// # Errors
+///
+/// Returns a readable description of the first violated rule.
+pub fn validate_chaos(doc: &Json) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string key \"schema\"")?;
+    if schema != CHAOS_SCHEMA {
+        return Err(format!("schema is {schema:?}, expected {CHAOS_SCHEMA:?}"));
+    }
+    doc.get("seed")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric key \"seed\"")?;
+
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("missing array key \"scenarios\"")?;
+    if scenarios.is_empty() {
+        return Err("\"scenarios\" is empty — the campaign ran nothing".into());
+    }
+    for (i, s) in scenarios.iter().enumerate() {
+        let ctx = |msg: String| format!("scenario {i}: {msg}");
+        for key in ["fault", "algo", "mode", "backend", "detector", "recovery"] {
+            s.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| ctx(format!("missing string key {key:?}")))?;
+        }
+        for key in [
+            "detected",
+            "detection_latency_epochs",
+            "rollbacks",
+            "wasted_events",
+            "checkpoint_bytes",
+            "max_abs_diff",
+        ] {
+            let v = s
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ctx(format!("missing numeric key {key:?}")))?;
+            if v < 0.0 {
+                return Err(ctx(format!("{key} must be >= 0, got {v}")));
+            }
+        }
+        let detected = s.get("detected").and_then(Json::as_f64).unwrap_or(0.0);
+        if detected < 1.0 {
+            return Err(ctx("fault was never detected (detected < 1)".into()));
+        }
+        match s.get("result_ok") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                return Err(ctx(
+                    "result_ok is false — the recovered result diverged".into()
+                ))
+            }
+            _ => return Err(ctx("missing boolean key \"result_ok\"".into())),
+        }
+    }
+
+    let overhead = doc
+        .get("overhead")
+        .and_then(Json::as_arr)
+        .ok_or("missing array key \"overhead\"")?;
+    if overhead.is_empty() {
+        return Err("\"overhead\" is empty — no fault-free baseline was measured".into());
+    }
+    for (i, o) in overhead.iter().enumerate() {
+        let ctx = |msg: String| format!("overhead {i}: {msg}");
+        o.get("algo")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing string key \"algo\"".into()))?;
+        for key in [
+            "events_processed",
+            "epochs",
+            "checkpoints",
+            "checkpoint_words",
+            "checkpoint_bytes",
+        ] {
+            let v = o
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ctx(format!("missing numeric key {key:?}")))?;
+            if v <= 0.0 {
+                return Err(ctx(format!("{key} must be positive, got {v}")));
+            }
+        }
+        if o.get("bitexact") != Some(&Json::Bool(true)) {
+            return Err(ctx(
+                "bitexact is not true — the fault-free chaos run diverged".into(),
+            ));
+        }
+    }
+
+    let summary = doc.get("summary").ok_or("missing object key \"summary\"")?;
+    for key in [
+        "scenarios",
+        "detections",
+        "mean_detection_latency_epochs",
+        "mean_rollbacks_per_recovery",
+        "wasted_events_total",
+        "checkpoint_bytes_total",
+    ] {
+        let v = summary
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("summary: missing numeric key {key:?}"))?;
+        if v < 0.0 {
+            return Err(format!("summary: {key} must be >= 0, got {v}"));
+        }
+    }
+    let n = summary
+        .get("scenarios")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    if n != scenarios.len() as f64 {
+        return Err(format!(
+            "summary.scenarios is {n} but {} scenarios are listed",
+            scenarios.len()
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,5 +642,123 @@ mod tests {
         ]);
         let err = validate_end_to_end(&doc).unwrap_err();
         assert!(err.contains("events_per_sec must be > 0"), "{err}");
+    }
+
+    fn sample_chaos_doc() -> Json {
+        Json::obj([
+            ("schema", Json::Str(CHAOS_SCHEMA.into())),
+            ("seed", Json::Num(42.0)),
+            (
+                "scenarios",
+                Json::Arr(vec![Json::obj([
+                    ("fault", Json::Str("drop-event".into())),
+                    ("algo", Json::Str("sssp".into())),
+                    ("mode", Json::Str("transient".into())),
+                    ("backend", Json::Str("chaos-exec".into())),
+                    ("detected", Json::Num(1.0)),
+                    ("detector", Json::Str("event-conservation".into())),
+                    ("detection_latency_epochs", Json::Num(0.0)),
+                    ("recovery", Json::Str("rollback".into())),
+                    ("rollbacks", Json::Num(1.0)),
+                    ("wasted_events", Json::Num(12.0)),
+                    ("checkpoint_bytes", Json::Num(4096.0)),
+                    ("max_abs_diff", Json::Num(0.0)),
+                    ("result_ok", Json::Bool(true)),
+                ])]),
+            ),
+            (
+                "overhead",
+                Json::Arr(vec![Json::obj([
+                    ("algo", Json::Str("sssp".into())),
+                    ("events_processed", Json::Num(400.0)),
+                    ("epochs", Json::Num(25.0)),
+                    ("checkpoints", Json::Num(24.0)),
+                    ("checkpoint_words", Json::Num(2600.0)),
+                    ("checkpoint_bytes", Json::Num(21248.0)),
+                    ("bitexact", Json::Bool(true)),
+                ])]),
+            ),
+            (
+                "summary",
+                Json::obj([
+                    ("scenarios", Json::Num(1.0)),
+                    ("detections", Json::Num(1.0)),
+                    ("mean_detection_latency_epochs", Json::Num(0.0)),
+                    ("mean_rollbacks_per_recovery", Json::Num(1.0)),
+                    ("wasted_events_total", Json::Num(12.0)),
+                    ("checkpoint_bytes_total", Json::Num(4096.0)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn chaos_validator_accepts_a_complete_document() {
+        validate_chaos(&sample_chaos_doc()).unwrap();
+    }
+
+    #[test]
+    fn chaos_validator_rejects_undetected_and_diverged_scenarios() {
+        let mut doc = sample_chaos_doc();
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "scenarios" {
+                    if let Json::Arr(items) = v {
+                        if let Json::Obj(fields) = &mut items[0] {
+                            for (fk, fv) in fields.iter_mut() {
+                                if fk == "detected" {
+                                    *fv = Json::Num(0.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate_chaos(&doc).unwrap_err();
+        assert!(err.contains("never detected"), "{err}");
+
+        let mut doc = sample_chaos_doc();
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "scenarios" {
+                    if let Json::Arr(items) = v {
+                        if let Json::Obj(fields) = &mut items[0] {
+                            for (fk, fv) in fields.iter_mut() {
+                                if fk == "result_ok" {
+                                    *fv = Json::Bool(false);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate_chaos(&doc).unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+
+        let wrong_schema = Json::obj([
+            ("schema", Json::Str("other/v9".into())),
+            ("seed", Json::Num(1.0)),
+        ]);
+        assert!(validate_chaos(&wrong_schema)
+            .unwrap_err()
+            .contains("schema"));
+
+        let missing_summary = Json::obj([
+            ("schema", Json::Str(CHAOS_SCHEMA.into())),
+            ("seed", Json::Num(1.0)),
+            (
+                "scenarios",
+                sample_chaos_doc().get("scenarios").unwrap().clone(),
+            ),
+            (
+                "overhead",
+                sample_chaos_doc().get("overhead").unwrap().clone(),
+            ),
+        ]);
+        assert!(validate_chaos(&missing_summary)
+            .unwrap_err()
+            .contains("summary"));
     }
 }

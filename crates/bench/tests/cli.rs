@@ -1,0 +1,76 @@
+//! Invocation tests for the `fuzz` and `chaos` binaries: good runs exit
+//! 0, bad flags exit 2 with a usage text that enumerates every valid
+//! fault kind.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> std::process::Output {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("could not spawn {bin}: {e}"))
+}
+
+#[test]
+fn fuzz_good_invocation_passes() {
+    let out = run(env!("CARGO_BIN_EXE_fuzz"), &["--seed", "3", "--iters", "1"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("1 iteration(s) passed"), "{stdout}");
+}
+
+#[test]
+fn fuzz_bad_fault_exits_2_and_lists_every_kind() {
+    let out = run(env!("CARGO_BIN_EXE_fuzz"), &["--inject-fault", "nope"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown fault \"nope\""), "{stderr}");
+    for kind in gp_chaos::FaultKind::labels() {
+        assert!(
+            stderr.contains(kind),
+            "usage must list fault kind {kind}:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn fuzz_help_lists_every_fault_kind() {
+    let out = run(env!("CARGO_BIN_EXE_fuzz"), &["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for kind in gp_chaos::FaultKind::labels() {
+        assert!(stdout.contains(kind), "help must list {kind}:\n{stdout}");
+    }
+    assert!(stdout.contains("--chaos"), "{stdout}");
+}
+
+#[test]
+fn fuzz_injected_fault_exits_1() {
+    let out = run(
+        env!("CARGO_BIN_EXE_fuzz"),
+        &[
+            "--seed",
+            "7",
+            "--iters",
+            "5",
+            "--no-shrink",
+            "--inject-fault",
+            "drop-event",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    assert!(stdout.contains("chaos-detection"), "{stdout}");
+}
+
+#[test]
+fn chaos_bad_flag_exits_2() {
+    let out = run(env!("CARGO_BIN_EXE_chaos"), &["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}

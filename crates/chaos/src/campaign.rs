@@ -1,0 +1,600 @@
+//! The chaos campaign: every fault kind × backend, detect → recover →
+//! verify against a fault-free reference.
+//!
+//! [`run_campaign`] is fully determined by its seed: graphs, fault plans,
+//! and every recorded metric are derived from it, and no wall-clock data
+//! enters the report — two runs with the same seed render byte-identical
+//! logs, which CI exploits with a double-run diff.
+
+use gp_algorithms::engine::run_sequential;
+use gp_algorithms::{
+    max_abs_diff, Adsorption, AdsorptionParams, Bfs, ConnectedComponents, DeltaAlgorithm,
+    PageRankDelta, Sssp, Sswp,
+};
+use gp_graph::generators::{erdos_renyi, WeightMode};
+use gp_graph::{CsrGraph, VertexId};
+use gp_mem::integrity::{mix64, Storable};
+use gp_turbo::{run_turbo, StaleFault, TurboConfig};
+use graphpulse_core::{AcceleratorConfig, GraphPulse, ParallelChaos, ParallelConfig};
+
+use crate::engine::{run_chaos, ChaosConfig};
+use crate::guard::{run_parallel_guarded, run_turbo_guarded};
+use crate::plan::{FaultKind, FaultPlan};
+
+/// One campaign scenario's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRecord {
+    /// Injected fault kind.
+    pub fault: FaultKind,
+    /// Algorithm label (`pr`, `ads`, `sssp`, `bfs`, `cc`, `sswp`).
+    pub algo: &'static str,
+    /// `transient` (fires once) or `persistent` (re-fires every retry).
+    pub mode: &'static str,
+    /// Backend the fault was injected into.
+    pub backend: &'static str,
+    /// Watchdog firings observed.
+    pub detected: u32,
+    /// Label of the first detector that fired (empty when none).
+    pub detector: String,
+    /// Epochs between injection and first detection.
+    pub latency_epochs: u64,
+    /// How the run recovered: `rollback`, `quarantine`, `retry`,
+    /// `degrade`, or `recompute` (differential kinds).
+    pub recovery: &'static str,
+    /// Rollbacks performed (chaos-executor scenarios).
+    pub rollbacks: u32,
+    /// Events whose processing was discarded by recovery.
+    pub wasted_events: u64,
+    /// Checkpoint traffic in line-rounded bytes.
+    pub checkpoint_bytes: u64,
+    /// Max |recovered − reference| over all vertices.
+    pub max_diff: f64,
+    /// Whether the recovered result matched the fault-free reference
+    /// within the algorithm's comparison tolerance.
+    pub result_ok: bool,
+}
+
+/// Fault-free checkpointing overhead for one algorithm: the chaos
+/// executor with detection + checkpointing enabled versus the plain
+/// golden engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadRecord {
+    /// Algorithm label.
+    pub algo: &'static str,
+    /// Events processed (identical to the golden engine by construction).
+    pub events_processed: u64,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Words copied into checkpoints.
+    pub checkpoint_words: u64,
+    /// Line-rounded checkpoint traffic in bytes.
+    pub checkpoint_bytes: u64,
+    /// Whether the fault-free chaos run was bit-exact vs the golden run.
+    pub bitexact: bool,
+}
+
+/// Everything one campaign run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// The seed that determined the whole campaign.
+    pub seed: u64,
+    /// One record per (fault kind, algorithm, mode) scenario.
+    pub records: Vec<CampaignRecord>,
+    /// Fault-free overhead per algorithm.
+    pub overhead: Vec<OverheadRecord>,
+}
+
+impl CampaignReport {
+    /// Violated campaign expectations (empty = the campaign passed):
+    /// every scenario must detect its fault in-engine and recover to the
+    /// fault-free reference, and fault-free runs must be bit-exact.
+    #[must_use]
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for r in &self.records {
+            if r.detected == 0 {
+                out.push(format!(
+                    "{}/{}/{}: fault was never detected",
+                    r.fault, r.algo, r.mode
+                ));
+            }
+            if !r.result_ok {
+                out.push(format!(
+                    "{}/{}/{}: recovered result diverged from the fault-free \
+                     reference (max diff {:e})",
+                    r.fault, r.algo, r.mode, r.max_diff
+                ));
+            }
+        }
+        for o in &self.overhead {
+            if !o.bitexact {
+                out.push(format!(
+                    "fault-free chaos run diverged from the golden engine on {}",
+                    o.algo
+                ));
+            }
+        }
+        out
+    }
+
+    /// Deterministic text rendering (byte-identical for equal seeds).
+    #[must_use]
+    pub fn render_log(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("chaos campaign seed={}\n", self.seed);
+        for o in &self.overhead {
+            let _ = writeln!(
+                s,
+                "overhead algo={} events={} epochs={} checkpoints={} words={} bytes={} bitexact={}",
+                o.algo,
+                o.events_processed,
+                o.epochs,
+                o.checkpoints,
+                o.checkpoint_words,
+                o.checkpoint_bytes,
+                o.bitexact
+            );
+        }
+        for r in &self.records {
+            let _ = writeln!(
+                s,
+                "fault={} algo={} mode={} backend={} detected={} detector={} \
+                 latency={} recovery={} rollbacks={} wasted={} ckpt_bytes={} \
+                 max_diff={:e} ok={}",
+                r.fault,
+                r.algo,
+                r.mode,
+                r.backend,
+                r.detected,
+                r.detector,
+                r.latency_epochs,
+                r.recovery,
+                r.rollbacks,
+                r.wasted_events,
+                r.checkpoint_bytes,
+                r.max_diff,
+                r.result_ok
+            );
+        }
+        let fails = self.failures();
+        for f in &fails {
+            let _ = writeln!(s, "FAIL {f}");
+        }
+        let _ = writeln!(
+            s,
+            "campaign: {} scenarios, {} failures",
+            self.records.len(),
+            fails.len()
+        );
+        s
+    }
+}
+
+/// The campaign's accelerator configuration: the small test machine with
+/// two forced shards so stall injection always has a cross-shard exchange
+/// to disturb.
+fn campaign_machine() -> GraphPulse {
+    GraphPulse::new(AcceleratorConfig {
+        parallel: ParallelConfig {
+            workers: 2,
+            epoch_cycles: 128,
+            shards: 2,
+        },
+        ..AcceleratorConfig::small_test()
+    })
+}
+
+/// Runs the event/memory-layer scenarios plus the backend-specific ones
+/// for a single algorithm, appending records.
+fn algo_scenarios<A>(
+    algo: &A,
+    name: &'static str,
+    graph: &CsrGraph,
+    seed: u64,
+    records: &mut Vec<CampaignRecord>,
+    overhead: &mut Vec<OverheadRecord>,
+) where
+    A: DeltaAlgorithm,
+    A::Value: Storable,
+{
+    let tol = algo.comparison_tolerance();
+    let reference = run_sequential(algo, graph);
+
+    // Fault-free overhead: checkpointing + detection enabled, no fault.
+    let clean_cfg = ChaosConfig {
+        epoch_events: 16,
+        ..ChaosConfig::default()
+    };
+    let clean = run_chaos(algo, graph, None, &clean_cfg);
+    overhead.push(OverheadRecord {
+        algo: name,
+        events_processed: clean.events_processed,
+        epochs: clean.epochs,
+        checkpoints: clean.checkpoints,
+        checkpoint_words: clean.checkpoint_words,
+        checkpoint_bytes: clean.checkpoint_bytes,
+        bitexact: clean.values == reference.values && clean.detections.is_empty(),
+    });
+
+    // Event-layer faults, transient: cured by rollback-and-retry.
+    for kind in [
+        FaultKind::DropEvent,
+        FaultKind::DuplicateEvent,
+        FaultKind::DelayEvent,
+    ] {
+        let plan = FaultPlan::transient(kind, seed ^ mix64(kind.label().len() as u64));
+        let out = run_chaos(algo, graph, Some(plan), &clean_cfg);
+        let diff = max_abs_diff(&out.values, &reference.values);
+        records.push(CampaignRecord {
+            fault: kind,
+            algo: name,
+            mode: "transient",
+            backend: "chaos-exec",
+            detected: out.detections.len() as u32,
+            detector: out
+                .detections
+                .first()
+                .map_or(String::new(), |d| d.detector.label().to_string()),
+            latency_epochs: out.detections.first().map_or(0, |d| d.latency_epochs),
+            recovery: if out.degraded { "degrade" } else { "rollback" },
+            rollbacks: out.rollbacks,
+            wasted_events: out.wasted_events,
+            checkpoint_bytes: out.checkpoint_bytes,
+            max_diff: diff,
+            result_ok: out.unrecovered.is_none() && diff <= tol,
+        });
+    }
+
+    // Memory-layer fault, persistent (stuck-at): detected by the scrub,
+    // localized, and cured by poisoned-region quarantine.
+    let flip_plan = FaultPlan::persistent(FaultKind::BitFlip, seed ^ 0xB17);
+    let flip_cfg = ChaosConfig {
+        epoch_events: 16,
+        verify_every: 2, // nonzero detection latency is part of the story
+        ..ChaosConfig::default()
+    };
+    let out = run_chaos(algo, graph, Some(flip_plan), &flip_cfg);
+    let diff = max_abs_diff(&out.values, &reference.values);
+    records.push(CampaignRecord {
+        fault: FaultKind::BitFlip,
+        algo: name,
+        mode: "persistent",
+        backend: "chaos-exec",
+        detected: out.detections.len() as u32,
+        detector: out
+            .detections
+            .first()
+            .map_or(String::new(), |d| d.detector.label().to_string()),
+        latency_epochs: out.detections.first().map_or(0, |d| d.latency_epochs),
+        recovery: if out.degraded {
+            "degrade"
+        } else if out.quarantined.is_empty() {
+            "rollback"
+        } else {
+            "quarantine"
+        },
+        rollbacks: out.rollbacks,
+        wasted_events: out.wasted_events,
+        checkpoint_bytes: out.checkpoint_bytes,
+        max_diff: diff,
+        result_ok: out.unrecovered.is_none() && diff <= tol,
+    });
+
+    // Shard stall, transient: caught by the epoch-budget watchdog,
+    // recovered by retry.
+    let gp = campaign_machine();
+    let clean_parallel = gp
+        .run_parallel(graph, algo)
+        .expect("clean parallel run must succeed");
+    let budget = clean_parallel.epochs + 8;
+    let chaos = ParallelChaos {
+        stall: Some((0, budget + 32)),
+        epoch_budget: Some(budget),
+    };
+    match run_parallel_guarded(&gp, algo, graph, chaos, 1, 3) {
+        Ok(out) => {
+            let diff = max_abs_diff(&out.values, &reference.values);
+            records.push(CampaignRecord {
+                fault: FaultKind::ShardStall,
+                algo: name,
+                mode: "transient",
+                backend: "parallel",
+                detected: out.detections.len() as u32,
+                detector: if out.detections.is_empty() {
+                    String::new()
+                } else {
+                    "epoch-budget".to_string()
+                },
+                latency_epochs: 0,
+                recovery: if out.degraded { "degrade" } else { "retry" },
+                rollbacks: 0,
+                wasted_events: 0,
+                checkpoint_bytes: 0,
+                max_diff: diff,
+                result_ok: diff <= tol,
+            });
+        }
+        Err(e) => panic!("parallel scenario failed to run: {e}"),
+    }
+
+    // Wheel stale-tag corruption, transient: caught by the turbo engine's
+    // lost-event check, recovered by retry. The victim (round, pick) is
+    // searched deterministically so the corruption actually orphans a
+    // delta (early-run upsets tend to self-heal — that is part of the
+    // model; the search sweeps late-to-early).
+    let tcfg = TurboConfig::default();
+    let fault = find_orphaning_fault(algo, graph, &tcfg);
+    match fault {
+        Some(fault) => {
+            let out = run_turbo_guarded(algo, graph, &tcfg, Some(fault), 1, 3);
+            let diff = max_abs_diff(&out.values, &reference.values);
+            records.push(CampaignRecord {
+                fault: FaultKind::WheelStale,
+                algo: name,
+                mode: "transient",
+                backend: "turbo",
+                detected: out.detections.len() as u32,
+                detector: if out.detections.is_empty() {
+                    String::new()
+                } else {
+                    "lost-event".to_string()
+                },
+                latency_epochs: 0,
+                recovery: if out.degraded { "degrade" } else { "retry" },
+                rollbacks: 0,
+                wasted_events: 0,
+                checkpoint_bytes: 0,
+                max_diff: diff,
+                result_ok: diff <= tol,
+            });
+        }
+        None => records.push(CampaignRecord {
+            fault: FaultKind::WheelStale,
+            algo: name,
+            mode: "transient",
+            backend: "turbo",
+            detected: 0,
+            detector: String::new(),
+            latency_epochs: 0,
+            recovery: "none",
+            rollbacks: 0,
+            wasted_events: 0,
+            checkpoint_bytes: 0,
+            max_diff: 0.0,
+            result_ok: false,
+        }),
+    }
+
+    // Merge-order skew: the legacy fault. It corrupts a backend's output
+    // value, which no single-engine watchdog can see — detection is
+    // differential (cross-backend comparison) and recovery is a golden
+    // recompute. This is the one kind detected outside the engine, kept
+    // in the campaign so the taxonomy stays complete. The victim is the
+    // first vertex whose value an additive skew can actually change (the
+    // root's value may be infinite — SSWP capacity — where `+1.0` is
+    // absorbed).
+    let mut skewed = clean_parallel.values.clone();
+    for v in skewed.iter_mut() {
+        let bent = if v.is_finite() { *v + 1.0 } else { 0.0 };
+        if bent != *v {
+            *v = bent;
+            break;
+        }
+    }
+    let skew_diff = max_abs_diff(&skewed, &reference.values);
+    let detected = skew_diff > tol;
+    let recomputed = run_sequential(algo, graph);
+    let diff = max_abs_diff(&recomputed.values, &reference.values);
+    records.push(CampaignRecord {
+        fault: FaultKind::MergeSkew,
+        algo: name,
+        mode: "transient",
+        backend: "parallel",
+        detected: u32::from(detected),
+        detector: "differential".to_string(),
+        latency_epochs: 0,
+        recovery: "recompute",
+        rollbacks: 0,
+        wasted_events: 0,
+        checkpoint_bytes: 0,
+        max_diff: diff,
+        result_ok: detected && diff <= tol,
+    });
+}
+
+/// Deterministically searches for a [`StaleFault`] that actually orphans
+/// a delta on this (algorithm, graph) pair: sweeps injection rounds from
+/// late to early (late upsets rarely get the healing redeposit) and victim
+/// picks `0..16` per round, returning the first that trips
+/// [`check_lost_events`](gp_turbo::TurboOutcome::check_lost_events).
+fn find_orphaning_fault<A, G>(algo: &A, graph: &G, tcfg: &TurboConfig) -> Option<StaleFault>
+where
+    A: DeltaAlgorithm,
+    G: gp_graph::GraphView,
+{
+    let clean_rounds = run_turbo(algo, graph, tcfg).rounds;
+    let mut rounds: Vec<u64> = [
+        clean_rounds.saturating_sub(2),
+        clean_rounds.saturating_sub(4),
+        clean_rounds / 2,
+        2,
+    ]
+    .iter()
+    .map(|&r| r.max(1))
+    .collect();
+    rounds.dedup();
+    for after_rounds in rounds {
+        for pick in 0..16u64 {
+            let fault = StaleFault { after_rounds, pick };
+            let probe = TurboConfig {
+                fault: Some(fault),
+                ..*tcfg
+            };
+            if run_turbo(algo, graph, &probe).check_lost_events().is_err() {
+                return Some(fault);
+            }
+        }
+    }
+    None
+}
+
+/// Persistent-fault degradation scenarios, run once (on SSSP) to pin the
+/// exhausted-retries path for every backend family.
+fn degradation_scenarios(graph: &CsrGraph, seed: u64, records: &mut Vec<CampaignRecord>) {
+    let algo = Sssp::new(VertexId::new(0));
+    let reference = run_sequential(&algo, graph);
+    let cfg = ChaosConfig {
+        epoch_events: 16,
+        max_retries: 2,
+        ..ChaosConfig::default()
+    };
+
+    // Persistent drop: re-fires on every replay, exhausts the rollback
+    // budget, degrades to the golden engine from the last checkpoint.
+    let plan = FaultPlan::persistent(FaultKind::DropEvent, seed ^ 0xD0D);
+    let out = run_chaos(&algo, graph, Some(plan), &cfg);
+    let diff = max_abs_diff(&out.values, &reference.values);
+    records.push(CampaignRecord {
+        fault: FaultKind::DropEvent,
+        algo: "sssp",
+        mode: "persistent",
+        backend: "chaos-exec",
+        detected: out.detections.len() as u32,
+        detector: out
+            .detections
+            .first()
+            .map_or(String::new(), |d| d.detector.label().to_string()),
+        latency_epochs: out.detections.first().map_or(0, |d| d.latency_epochs),
+        recovery: if out.degraded { "degrade" } else { "rollback" },
+        rollbacks: out.rollbacks,
+        wasted_events: out.wasted_events,
+        checkpoint_bytes: out.checkpoint_bytes,
+        max_diff: diff,
+        result_ok: out.unrecovered.is_none() && diff <= 0.0,
+    });
+
+    // Persistent shard stall: every retry trips the watchdog, the guard
+    // degrades to the golden engine.
+    let gp = campaign_machine();
+    let clean_parallel = gp
+        .run_parallel(graph, &algo)
+        .expect("clean parallel run must succeed");
+    let budget = clean_parallel.epochs + 8;
+    let chaos = ParallelChaos {
+        stall: Some((0, budget + 32)),
+        epoch_budget: Some(budget),
+    };
+    let out = run_parallel_guarded(&gp, &algo, graph, chaos, u32::MAX, 2)
+        .expect("guarded parallel must not hit config errors");
+    let diff = max_abs_diff(&out.values, &reference.values);
+    records.push(CampaignRecord {
+        fault: FaultKind::ShardStall,
+        algo: "sssp",
+        mode: "persistent",
+        backend: "parallel",
+        detected: out.detections.len() as u32,
+        detector: "epoch-budget".to_string(),
+        latency_epochs: 0,
+        recovery: if out.degraded { "degrade" } else { "retry" },
+        rollbacks: 0,
+        wasted_events: 0,
+        checkpoint_bytes: 0,
+        max_diff: diff,
+        result_ok: out.degraded && diff <= 0.0,
+    });
+
+    // Persistent wheel corruption: every turbo attempt loses a delta,
+    // the guard degrades to the golden engine.
+    let tcfg = TurboConfig::default();
+    let fault = find_orphaning_fault(&algo, graph, &tcfg);
+    if let Some(fault) = fault {
+        let out = run_turbo_guarded(&algo, graph, &tcfg, Some(fault), u32::MAX, 2);
+        let diff = max_abs_diff(&out.values, &reference.values);
+        records.push(CampaignRecord {
+            fault: FaultKind::WheelStale,
+            algo: "sssp",
+            mode: "persistent",
+            backend: "turbo",
+            detected: out.detections.len() as u32,
+            detector: "lost-event".to_string(),
+            latency_epochs: 0,
+            recovery: if out.degraded { "degrade" } else { "retry" },
+            rollbacks: 0,
+            wasted_events: 0,
+            checkpoint_bytes: 0,
+            max_diff: diff,
+            result_ok: out.degraded && diff <= 0.0,
+        });
+    }
+}
+
+/// Runs the full campaign: every fault kind × all six algorithms
+/// (transient scenarios) plus persistent degradation/quarantine
+/// scenarios, all deterministically derived from `seed`.
+#[must_use]
+pub fn run_campaign(seed: u64) -> CampaignReport {
+    let n = 96;
+    let graph = erdos_renyi(n, 420, WeightMode::Uniform(0.5, 4.0), mix64(seed));
+    let ads_graph = gp_algorithms::normalize_inbound(&graph);
+    let root = VertexId::new(0);
+
+    let mut records = Vec::new();
+    let mut overhead = Vec::new();
+    algo_scenarios(
+        &PageRankDelta::new(0.85, 1e-9),
+        "pr",
+        &graph,
+        seed,
+        &mut records,
+        &mut overhead,
+    );
+    algo_scenarios(
+        &Adsorption::new(AdsorptionParams::random(n, mix64(seed ^ 0xAD5)), 1e-9),
+        "ads",
+        &ads_graph,
+        seed,
+        &mut records,
+        &mut overhead,
+    );
+    algo_scenarios(
+        &Sssp::new(root),
+        "sssp",
+        &graph,
+        seed,
+        &mut records,
+        &mut overhead,
+    );
+    algo_scenarios(
+        &Bfs::new(root),
+        "bfs",
+        &graph,
+        seed,
+        &mut records,
+        &mut overhead,
+    );
+    algo_scenarios(
+        &ConnectedComponents::new(),
+        "cc",
+        &graph,
+        seed,
+        &mut records,
+        &mut overhead,
+    );
+    algo_scenarios(
+        &Sswp::new(root),
+        "sswp",
+        &graph,
+        seed,
+        &mut records,
+        &mut overhead,
+    );
+    degradation_scenarios(&graph, seed, &mut records);
+
+    CampaignReport {
+        seed,
+        records,
+        overhead,
+    }
+}

@@ -1,0 +1,140 @@
+//! Guarded backend wrappers: run a fast backend under its in-engine
+//! watchdog, retry on detection, and degrade to the golden engine when
+//! retries are exhausted.
+//!
+//! These are the graceful-degradation half of the recovery story for the
+//! backend-specific fault kinds: [`FaultKind::WheelStale`](crate::FaultKind)
+//! is caught by the turbo engine's lost-event check and
+//! [`FaultKind::ShardStall`](crate::FaultKind) by the parallel engine's
+//! epoch-budget watchdog ([`RunError::EpochBudget`]). Both wrappers share
+//! the transient-vs-persistent contract of [`FaultPlan::repeats`](crate::FaultPlan::repeats): the
+//! injected fault re-arms on each retry until it has fired `repeats`
+//! times, so a transient fault is cured by retrying and a persistent one
+//! falls through to the golden engine — never returning a wrong result
+//! silently, because a faulted attempt is only accepted if its watchdog
+//! comes back clean, and a clean watchdog implies no event was lost.
+
+use gp_algorithms::engine::run_sequential;
+use gp_algorithms::DeltaAlgorithm;
+use gp_graph::GraphView;
+use gp_turbo::{run_turbo, StaleFault, TurboConfig};
+use graphpulse_core::{GraphPulse, ParallelChaos, RunError};
+
+/// Result of a guarded backend run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardedOutcome {
+    /// Final vertex values (`f64` projection). From the guarded backend
+    /// when an attempt passed its watchdog, from the golden engine when
+    /// degraded.
+    pub values: Vec<f64>,
+    /// Watchdog diagnoses, one per failed attempt.
+    pub detections: Vec<String>,
+    /// Attempts executed on the guarded backend (successful one included;
+    /// the golden fallback is not an attempt).
+    pub attempts: u32,
+    /// Whether the run fell back to the golden engine.
+    pub degraded: bool,
+}
+
+/// Runs the turbo backend under the lost-event watchdog, injecting
+/// `fault` for the first `repeats` attempts. Each faulted attempt is
+/// checked with [`gp_turbo::TurboOutcome::check_lost_events`]; a failed
+/// check discards the attempt and retries (the fault re-fires while it
+/// has firings left). After `max_retries` failed attempts the run
+/// degrades to [`run_sequential`].
+pub fn run_turbo_guarded<A: DeltaAlgorithm, G: GraphView>(
+    algo: &A,
+    graph: &G,
+    cfg: &TurboConfig,
+    fault: Option<StaleFault>,
+    repeats: u32,
+    max_retries: u32,
+) -> GuardedOutcome {
+    let mut detections = Vec::new();
+    let mut fired = 0u32;
+    for attempt in 1..=max_retries.max(1) {
+        let tcfg = TurboConfig {
+            fault: fault.filter(|_| fired < repeats),
+            ..*cfg
+        };
+        if tcfg.fault.is_some() {
+            fired += 1;
+        }
+        let out = run_turbo(algo, graph, &tcfg);
+        match out.check_lost_events() {
+            Ok(()) => {
+                return GuardedOutcome {
+                    values: out.values,
+                    detections,
+                    attempts: attempt,
+                    degraded: false,
+                }
+            }
+            Err(msg) => detections.push(msg),
+        }
+    }
+    let golden = run_sequential(algo, graph);
+    GuardedOutcome {
+        values: golden.values,
+        detections,
+        attempts: max_retries.max(1),
+        degraded: true,
+    }
+}
+
+/// Runs the shard-parallel backend under the epoch-budget convergence
+/// watchdog, injecting the stall of `chaos` for the first `repeats`
+/// attempts. A watchdog abort ([`RunError::EpochBudget`]) discards the
+/// attempt and retries; after `max_retries` failed attempts the run
+/// degrades to [`run_sequential`].
+///
+/// # Errors
+///
+/// Propagates non-watchdog errors ([`RunError::InvalidConfig`],
+/// [`RunError::CycleLimit`]) unchanged — those are configuration
+/// problems, not injected faults.
+pub fn run_parallel_guarded<A, G>(
+    gp: &GraphPulse,
+    algo: &A,
+    graph: &G,
+    chaos: ParallelChaos,
+    repeats: u32,
+    max_retries: u32,
+) -> Result<GuardedOutcome, RunError>
+where
+    A: DeltaAlgorithm,
+    G: GraphView + Sync,
+{
+    let mut detections = Vec::new();
+    let mut fired = 0u32;
+    for attempt in 1..=max_retries.max(1) {
+        let attempt_chaos = ParallelChaos {
+            stall: chaos.stall.filter(|_| fired < repeats),
+            epoch_budget: chaos.epoch_budget,
+        };
+        if attempt_chaos.stall.is_some() {
+            fired += 1;
+        }
+        match gp.run_parallel_chaos(graph, algo, attempt_chaos) {
+            Ok(out) => {
+                return Ok(GuardedOutcome {
+                    values: out.values,
+                    detections,
+                    attempts: attempt,
+                    degraded: false,
+                })
+            }
+            Err(RunError::EpochBudget(budget)) => {
+                detections.push(RunError::EpochBudget(budget).to_string());
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    let golden = run_sequential(algo, graph);
+    Ok(GuardedOutcome {
+        values: golden.values,
+        detections,
+        attempts: max_retries.max(1),
+        degraded: true,
+    })
+}

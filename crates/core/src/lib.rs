@@ -56,4 +56,4 @@ pub use energy::{EnergyModel, EnergyReport};
 pub use event::{Event, EventMeta};
 pub use machine::{GraphPulse, Outcome, RunError, SeededOutcome};
 pub use metrics::{ExecutionReport, LookaheadBuckets, RoundMetrics, StageAverages};
-pub use parallel::{ParallelOutcome, ParallelSeededOutcome};
+pub use parallel::{ParallelChaos, ParallelOutcome, ParallelSeededOutcome};

@@ -41,6 +41,10 @@ pub enum RunError {
     InvalidConfig(String),
     /// The simulation exceeded the configured cycle safety cap.
     CycleLimit(u64),
+    /// The convergence watchdog fired: the parallel engine crossed its
+    /// epoch-barrier budget without reaching a fixed point (a stalled or
+    /// skewed shard is the canonical cause). Carries the budget.
+    EpochBudget(u64),
 }
 
 impl fmt::Display for RunError {
@@ -48,6 +52,11 @@ impl fmt::Display for RunError {
         match self {
             RunError::InvalidConfig(why) => write!(f, "invalid accelerator configuration: {why}"),
             RunError::CycleLimit(cap) => write!(f, "simulation exceeded {cap} cycles"),
+            RunError::EpochBudget(cap) => write!(
+                f,
+                "convergence watchdog: no fixed point within {cap} epoch barriers \
+                 (stalled or skewed shard suspected)"
+            ),
         }
     }
 }

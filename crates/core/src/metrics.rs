@@ -154,6 +154,43 @@ pub struct ExecutionReport {
 }
 
 impl ExecutionReport {
+    /// A zeroed report carrying only the four event counters — for
+    /// synthesizing [`ExecutionReport::check_event_conservation`] checks
+    /// over externally-maintained counters (the chaos plane's per-epoch
+    /// watchdog does this).
+    pub fn from_event_counters(
+        generated: u64,
+        processed: u64,
+        coalesced: u64,
+        spilled: u64,
+    ) -> ExecutionReport {
+        ExecutionReport {
+            cycles: 0,
+            seconds: 0.0,
+            rounds: 0,
+            slices: 1,
+            slice_activations: 1,
+            events_processed: processed,
+            events_generated: generated,
+            events_coalesced: coalesced,
+            events_spilled: spilled,
+            rounds_log: Vec::new(),
+            stages: StageAverages::default(),
+            proc_timeline: StateTimeline::new(&PROC_STATES),
+            gen_timeline: StateTimeline::new(&GEN_STATES),
+            memory: MemStats::default(),
+            edge_cache_hits: 0,
+            edge_cache_misses: 0,
+            energy: EnergyReport::from_activity(
+                &crate::EnergyModel::paper(),
+                &crate::energy::ActivityCounters::default(),
+                1.0,
+                1,
+                1,
+            ),
+        }
+    }
+
     /// Fraction of generated events that were eliminated by coalescing
     /// (the paper reports >90% for PageRank on LiveJournal).
     pub fn coalesce_rate(&self) -> f64 {
@@ -225,6 +262,66 @@ impl ExecutionReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn report_with(
+        generated: u64,
+        processed: u64,
+        coalesced: u64,
+        spilled: u64,
+    ) -> ExecutionReport {
+        ExecutionReport::from_event_counters(generated, processed, coalesced, spilled)
+    }
+
+    #[test]
+    fn conservation_accepts_balanced_counters() {
+        report_with(10, 6, 4, 0)
+            .check_event_conservation(true)
+            .unwrap();
+        report_with(10, 6, 4, 0)
+            .check_event_conservation(false)
+            .unwrap();
+        // Bounded mode tolerates a deficit covered by spills.
+        report_with(10, 5, 3, 2)
+            .check_event_conservation(false)
+            .unwrap();
+    }
+
+    #[test]
+    fn strict_conservation_fires_on_a_deficit() {
+        // A dropped event: generated but neither processed nor coalesced.
+        let err = report_with(10, 5, 4, 0)
+            .check_event_conservation(true)
+            .unwrap_err();
+        assert!(err.contains("event conservation violated"), "{err}");
+        assert!(err.contains("deficit 1"), "{err}");
+        assert!(err.contains("generated 10"), "{err}");
+    }
+
+    #[test]
+    fn conservation_fires_on_surplus_in_both_modes() {
+        // A duplicated event: absorbed without ever being generated.
+        for strict in [true, false] {
+            let err = report_with(10, 7, 4, 0)
+                .check_event_conservation(strict)
+                .unwrap_err();
+            assert!(err.contains("absorbed more events than generated"), "{err}");
+            assert!(
+                err.contains("processed 7 + coalesced 4 > generated 10"),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_conservation_fires_when_deficit_exceeds_spills() {
+        let err = report_with(10, 4, 3, 2)
+            .check_event_conservation(false)
+            .unwrap_err();
+        assert!(
+            err.contains("event deficit 3 exceeds spilled count 2"),
+            "{err}"
+        );
+    }
 
     #[test]
     fn lookahead_bucket_boundaries_match_fig8() {

@@ -44,6 +44,29 @@ use crate::metrics::{GEN_STATES, PROC_STATES};
 use crate::{GraphPulse, RunError};
 use gp_sim::stats::StateTimeline;
 
+/// Deterministic disturbance-and-watchdog plan for the shard-parallel
+/// engine, used by the chaos plane (`gp-chaos`).
+///
+/// The stall models a shard whose egress link is down: at each barrier the
+/// victim's outgoing events are diverted into a carry buffer instead of
+/// the inboxes, for `epochs` consecutive barriers, then flushed. Held
+/// events keep their original `(cycle, source shard, seq)` tags and the
+/// canonical inbox sort runs on delivery, so a run that survives the
+/// stall stays bit-deterministic for any worker count. The termination
+/// check refuses to declare convergence while the carry buffer is
+/// non-empty — a stall can therefore never produce a silently wrong fixed
+/// point; it either delays convergence or trips the epoch-budget
+/// watchdog ([`RunError::EpochBudget`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelChaos {
+    /// Stall injection: `(victim shard, barriers held)`. The victim index
+    /// is taken modulo the shard count. `None` injects nothing.
+    pub stall: Option<(usize, u64)>,
+    /// Convergence watchdog: maximum number of epoch barriers before the
+    /// run is aborted with [`RunError::EpochBudget`]. `None` disables it.
+    pub epoch_budget: Option<u64>,
+}
+
 /// Result of a parallel run: the merged [`Outcome`](crate::Outcome) fields
 /// plus the barrier-merged counter registry.
 #[derive(Debug, Clone)]
@@ -104,7 +127,25 @@ impl GraphPulse {
         graph: &G,
         algo: &A,
     ) -> Result<ParallelOutcome, RunError> {
-        let out = self.run_parallel_inner(graph, algo, None)?;
+        self.run_parallel_chaos(graph, algo, ParallelChaos::default())
+    }
+
+    /// Runs `algo` on `graph` with the shard-parallel engine under a
+    /// [`ParallelChaos`] plan (stall injection and/or epoch-budget
+    /// watchdog). [`GraphPulse::run_parallel`] is this with the default
+    /// (empty) plan.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GraphPulse::run_parallel`], plus
+    /// [`RunError::EpochBudget`] when the watchdog fires.
+    pub fn run_parallel_chaos<A: DeltaAlgorithm, G: GraphView + Sync>(
+        &self,
+        graph: &G,
+        algo: &A,
+        chaos: ParallelChaos,
+    ) -> Result<ParallelOutcome, RunError> {
+        let out = self.run_parallel_inner(graph, algo, None, chaos)?;
         Ok(ParallelOutcome {
             values: out.values.iter().map(|&v| algo.value_to_f64(v)).collect(),
             report: out.report,
@@ -139,7 +180,7 @@ impl GraphPulse {
         values: Vec<A::Value>,
         seeds: &[(VertexId, A::Delta)],
     ) -> Result<ParallelSeededOutcome<A::Value>, RunError> {
-        self.run_parallel_inner(graph, algo, Some((values, seeds)))
+        self.run_parallel_inner(graph, algo, Some((values, seeds)), ParallelChaos::default())
     }
 
     /// Shared driver behind the cold-start and warm-start parallel paths;
@@ -151,6 +192,7 @@ impl GraphPulse {
         graph: &G,
         algo: &A,
         seed: Option<(Vec<A::Value>, &[(VertexId, A::Delta)])>,
+        chaos: ParallelChaos,
     ) -> Result<ParallelSeededOutcome<A::Value>, RunError> {
         let cfg = self.config();
         cfg.validate().map_err(RunError::InvalidConfig)?;
@@ -216,9 +258,20 @@ impl GraphPulse {
         let mut t_deliver = std::time::Duration::ZERO;
         let mut total_exchanged = 0usize;
 
+        // Chaos plan state: the stalled shard's diverted events (with
+        // their original canonical tags) and the barriers left to hold.
+        let stall_shard = chaos.stall.map(|(s, _)| s % shard_count);
+        let mut stall_left = chaos.stall.map_or(0, |(_, epochs)| epochs);
+        let mut carry: Vec<(usize, u64, usize, u64, _)> = Vec::new();
+
         loop {
             barrier = barrier.saturating_add(pc.epoch_cycles);
             epochs += 1;
+            if let Some(budget) = chaos.epoch_budget {
+                if epochs > budget {
+                    return Err(RunError::EpochBudget(budget));
+                }
+            }
             let epoch_end = Cycle::new(barrier);
             let t0 = std::time::Instant::now();
 
@@ -258,14 +311,29 @@ impl GraphPulse {
             for (src, m) in machines.iter_mut().enumerate() {
                 for (dst, out) in m.take_outboxes().into_iter().enumerate() {
                     for oe in out {
-                        inboxes[dst].push((oe.cycle, src, oe.seq, oe.event));
+                        if stall_left > 0 && Some(src) == stall_shard {
+                            carry.push((dst, oe.cycle, src, oe.seq, oe.event));
+                        } else {
+                            inboxes[dst].push((oe.cycle, src, oe.seq, oe.event));
+                        }
+                    }
+                }
+            }
+            if stall_left > 0 {
+                stall_left -= 1;
+                if stall_left == 0 {
+                    // Stall window over: the victim's egress floods out.
+                    // Original tags survive, so the canonical sort below
+                    // restores a worker-count-independent delivery order.
+                    for (dst, cycle, src, seq, ev) in carry.drain(..) {
+                        inboxes[dst].push((cycle, src, seq, ev));
                     }
                 }
             }
             let exchanged: usize = inboxes.iter().map(Vec::len).sum();
             t_gather += t0.elapsed();
             total_exchanged += exchanged;
-            if exchanged == 0 && machines.iter().all(Machine::parked) {
+            if exchanged == 0 && carry.is_empty() && machines.iter().all(Machine::parked) {
                 break;
             }
             let t0 = std::time::Instant::now();

@@ -43,6 +43,7 @@
 mod cache;
 mod config;
 mod dram;
+pub mod integrity;
 pub mod prefetch;
 pub mod protocol;
 mod request;
@@ -51,6 +52,7 @@ mod scratchpad;
 pub use cache::{Cache, CacheConfig};
 pub use config::DramConfig;
 pub use dram::{MemStats, MemorySystem};
+pub use integrity::{BitUpset, ShadowChecksum, Storable};
 pub use protocol::{check_protocol, IssueRecord, RowOutcome};
 pub use request::{MemRequest, ReqId, TrafficClass};
 pub use scratchpad::Scratchpad;

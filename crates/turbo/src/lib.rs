@@ -53,4 +53,4 @@
 mod engine;
 pub mod priority;
 
-pub use engine::{run_turbo, RoundStat, TurboConfig, TurboOutcome};
+pub use engine::{run_turbo, RoundStat, StaleFault, TurboConfig, TurboOutcome};

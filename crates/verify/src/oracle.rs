@@ -26,11 +26,13 @@ use gp_algorithms::{
     max_abs_diff, Adsorption, AdsorptionParams, Bfs, ConnectedComponents, DeltaAlgorithm,
     IncrementalAlgorithm, PageRankDelta, Sssp, Sswp,
 };
+use gp_chaos::{run_chaos, ChaosConfig, FaultPlan};
 use gp_graph::rng::{Rng, StdRng};
 use gp_graph::{CsrGraph, GraphBuilder, VertexId};
+use gp_mem::integrity::Storable;
 use gp_stream::{IncrementalEngine, StreamConfig};
-use gp_turbo::{run_turbo, TurboConfig};
-use graphpulse_core::GraphPulse;
+use gp_turbo::{run_turbo, StaleFault, TurboConfig};
+use graphpulse_core::{GraphPulse, ParallelChaos, RunError};
 
 use crate::case::{AlgoKind, TestCase};
 
@@ -43,23 +45,13 @@ const ADS_SALT: u64 = 0xAD50_0000_0000_0001;
 const PERM_SALT: u64 = 0x9E3D_0000_0000_0002;
 
 /// A deliberately injected defect, used to validate that the harness (and
-/// its shrinker) actually detects divergences.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Fault {
-    /// Models a shard-inbox merge-order bug: after the single-worker
-    /// parallel run, vertex 0's merged value is skewed before comparison.
-    MergeSkew,
-}
-
-impl Fault {
-    /// Parses a CLI spelling of a fault.
-    pub fn parse(s: &str) -> Option<Fault> {
-        match s {
-            "merge-order" => Some(Fault::MergeSkew),
-            _ => None,
-        }
-    }
-}
+/// its shrinker) actually detects divergences. This is the full
+/// [`gp_chaos::FaultKind`] taxonomy: the legacy
+/// [`Fault::MergeSkew`] is applied to the parallel leg's output (caught
+/// differentially), while the event-, memory-, and backend-layer kinds
+/// run through the chaos plane with recovery *disabled*, so the oracle
+/// failure is the in-engine watchdog's own detection.
+pub use gp_chaos::FaultKind as Fault;
 
 /// One failed oracle check.
 #[derive(Debug, Clone)]
@@ -202,16 +194,24 @@ fn compare_values(
     Ok(())
 }
 
-/// Golden ≡ accelerator ≡ parallel × {1, 2, 4 workers}, plus determinism,
-/// event conservation, and slice-count invariance.
-fn check_differential<A: DeltaAlgorithm>(
+/// Golden ≡ accelerator ≡ parallel × {1, 2, 4 workers} ≡ chaos executor,
+/// plus determinism, event conservation, and slice-count invariance.
+fn check_differential<A>(
     case: &TestCase,
     g: &CsrGraph,
     algo: &A,
     fault: Option<Fault>,
-) -> Result<(), Failure> {
+) -> Result<(), Failure>
+where
+    A: DeltaAlgorithm,
+    A::Value: Storable,
+{
     let tol = algo.comparison_tolerance();
     let golden = run_sequential(algo, g);
+
+    // Chaos executor (oracle leg 6): clean equivalence with golden, and —
+    // under an injected fault — the in-engine watchdogs' detection.
+    check_chaos(case, g, algo, fault)?;
 
     // Turbo engine, twice: functional agreement of the speed-first backend
     // plus its bit-determinism (oracle leg 5).
@@ -388,6 +388,161 @@ fn check_differential<A: DeltaAlgorithm>(
     Ok(())
 }
 
+/// The chaos-plane oracle leg. With no fault (or the differential-only
+/// [`Fault::MergeSkew`]): [`run_chaos`] with detection enabled and
+/// recovery disabled must be bit-exact with the golden engine — values
+/// *and* event counters — with no watchdog firing (pinning the detectors'
+/// false-positive rate at zero). With an injected chaos-plane fault:
+/// recovery stays disabled, so a fired fault must surface as an in-engine
+/// detection (returned as the oracle failure the shrinker minimizes); a
+/// fault that never fired or self-healed must leave the result at the
+/// golden fixed point — silent corruption is the one unacceptable
+/// outcome.
+fn check_chaos<A>(
+    case: &TestCase,
+    g: &CsrGraph,
+    algo: &A,
+    fault: Option<Fault>,
+) -> Result<(), Failure>
+where
+    A: DeltaAlgorithm,
+    A::Value: Storable,
+{
+    let tol = algo.comparison_tolerance();
+    let golden = run_sequential(algo, g);
+    let cfg = ChaosConfig {
+        epoch_events: 16,
+        max_retries: 0,
+        degrade: false,
+        ..ChaosConfig::default()
+    };
+
+    let clean = run_chaos(algo, g, None, &cfg);
+    if let Some(d) = clean.detections.first() {
+        return Err(fail(
+            "chaos-false-positive",
+            format!(
+                "watchdog fired on a fault-free run: {} ({})",
+                d.detector.label(),
+                d.message
+            ),
+        ));
+    }
+    if clean
+        .values
+        .iter()
+        .map(|v| v.to_bits())
+        .ne(golden.values.iter().map(|v| v.to_bits()))
+        || clean.events_processed != golden.events_processed
+        || clean.events_generated != golden.events_generated
+    {
+        return Err(fail(
+            "differential-chaos",
+            format!(
+                "clean chaos run is not bit-exact with golden \
+                 (processed {} vs {}, generated {} vs {}, max |diff| {:e})",
+                clean.events_processed,
+                golden.events_processed,
+                clean.events_generated,
+                golden.events_generated,
+                max_abs_diff(&clean.values, &golden.values)
+            ),
+        ));
+    }
+
+    match fault {
+        Some(
+            kind @ (Fault::DropEvent | Fault::DuplicateEvent | Fault::DelayEvent | Fault::BitFlip),
+        ) => {
+            let plan = FaultPlan::transient(kind, case.aux_seed);
+            let out = run_chaos(algo, g, Some(plan), &cfg);
+            if let Some(d) = out.detections.first() {
+                return Err(fail(
+                    "chaos-detection",
+                    format!(
+                        "injected {kind} detected by {}: {}",
+                        d.detector.label(),
+                        d.message
+                    ),
+                ));
+            }
+            // The trigger landed beyond the run (tiny case): the fault
+            // never fired, so the fixed point must be untouched.
+            compare_values(
+                "chaos-silent-corruption",
+                &format!("undetected {kind}"),
+                &out.values,
+                &golden.values,
+                tol,
+            )
+        }
+        Some(Fault::ShardStall) => {
+            let mut pcfg = case.machine.to_config();
+            let capacity = pcfg.queue.capacity().max(1);
+            if pcfg.parallel.shards > 0
+                && g.num_vertices().div_ceil(pcfg.parallel.shards) > capacity
+            {
+                pcfg.parallel.shards = 0;
+            }
+            let gp = GraphPulse::new(pcfg);
+            let clean_epochs = gp
+                .run_parallel(g, algo)
+                .map_err(|e| fail("parallel-run", format!("clean run for stall leg: {e}")))?
+                .epochs;
+            let budget = clean_epochs + 8;
+            let chaos = ParallelChaos {
+                stall: Some((0, budget + 32)),
+                epoch_budget: Some(budget),
+            };
+            match gp.run_parallel_chaos(g, algo, chaos) {
+                Err(RunError::EpochBudget(b)) => Err(fail(
+                    "chaos-detection",
+                    format!(
+                        "injected shard-stall detected: {}",
+                        RunError::EpochBudget(b)
+                    ),
+                )),
+                Err(e) => Err(fail("parallel-run", format!("stalled run: {e}"))),
+                Ok(out) => compare_values(
+                    "chaos-silent-corruption",
+                    "undetected shard-stall",
+                    &out.values,
+                    &golden.values,
+                    tol,
+                ),
+            }
+        }
+        Some(Fault::WheelStale) => {
+            let tcfg = TurboConfig::default();
+            let clean_rounds = run_turbo(algo, g, &tcfg).rounds;
+            let faulted = TurboConfig {
+                fault: Some(StaleFault {
+                    after_rounds: clean_rounds.saturating_sub(2).max(1),
+                    pick: case.aux_seed % 8,
+                }),
+                ..tcfg
+            };
+            let out = run_turbo(algo, g, &faulted);
+            match out.check_lost_events() {
+                Err(msg) => Err(fail(
+                    "chaos-detection",
+                    format!("injected wheel-stale detected: {msg}"),
+                )),
+                // The corrupted entry was healed by a later redeposit:
+                // nothing was lost, so the fixed point must be untouched.
+                Ok(()) => compare_values(
+                    "chaos-silent-corruption",
+                    "healed wheel-stale",
+                    &out.values,
+                    &golden.values,
+                    tol,
+                ),
+            }
+        }
+        Some(Fault::MergeSkew) | None => Ok(()),
+    }
+}
+
 /// Vertex-relabeling invariance: running `relabeled_algo` on the
 /// isomorphic graph must commute with the permutation — by value for every
 /// algorithm except connected components, whose labels are vertex ids and
@@ -528,7 +683,40 @@ mod tests {
 
     #[test]
     fn fault_parse_round_trip() {
+        for kind in Fault::ALL {
+            assert_eq!(Fault::parse(kind.label()), Some(kind));
+        }
         assert_eq!(Fault::parse("merge-order"), Some(Fault::MergeSkew));
         assert_eq!(Fault::parse("nope"), None);
+    }
+
+    /// Every chaos-plane fault kind is caught — as an in-engine detection
+    /// (`chaos-detection`) on the seeds where the trigger fires, and never
+    /// as silent corruption anywhere.
+    #[test]
+    fn injected_chaos_faults_are_detected_in_engine() {
+        for kind in [
+            Fault::DropEvent,
+            Fault::DuplicateEvent,
+            Fault::DelayEvent,
+            Fault::BitFlip,
+            Fault::ShardStall,
+            Fault::WheelStale,
+        ] {
+            let mut detected = 0;
+            for seed in 1u64..=6 {
+                let case = generate(seed);
+                // An Ok(()) here is legal: the trigger never fired or the
+                // fault healed before the fixed point.
+                if let Err(f) = run_case(&case, Some(kind)) {
+                    assert_eq!(
+                        f.check, "chaos-detection",
+                        "{kind} on seed {seed} failed the wrong check: {f}"
+                    );
+                    detected += 1;
+                }
+            }
+            assert!(detected > 0, "{kind} was never detected across 6 seeds");
+        }
     }
 }

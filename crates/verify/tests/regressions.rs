@@ -95,6 +95,44 @@ fn repro_seed9_sssp_prefetch() -> TestCase {
     }
 }
 
+/// Shrunk from fuzz `--seed 7 --inject-fault drop-event`: SSWP on a
+/// 7-edge chain hanging off root 25. Failing check was `chaos-detection`
+/// (per-epoch conservation: generated 8 != processed 7 + coalesced 0,
+/// deficit 1 — the dropped propagation caught by the event-conservation
+/// watchdog on the minimal graph that still reaches the trigger index).
+fn repro_seed7_sswp_drop_event() -> TestCase {
+    TestCase {
+        vertices: 26,
+        edges: vec![
+            (17, 8, 1.0),
+            (20, 22, 1.0),
+            (21, 1, 1.0),
+            (21, 17, 1.0),
+            (21, 20, 1.0),
+            (25, 18, 1.0),
+            (25, 21, 1.0),
+        ],
+        algo: AlgoKind::Sswp,
+        root: 25,
+        aux_seed: 5688135274254200921,
+        updates: vec![],
+        batch_size: 10,
+        machine: MachineParams {
+            processors: 1,
+            gen_streams: 3,
+            queue_bins: 1,
+            queue_rows: 13,
+            queue_cols: 1,
+            coalescer_depth: 1,
+            prefetch: false,
+            occupancy_first: false,
+            single_channel_dram: false,
+            epoch_cycles: 128,
+            forced_shards: 1,
+        },
+    }
+}
+
 #[test]
 fn fuzz_regression_seed7_sswp_isolated_root() {
     run_case(&repro_seed7_sswp_isolated_root(), None).unwrap();
@@ -108,6 +146,23 @@ fn fuzz_regression_seed8_bfs_forced_shards() {
 #[test]
 fn fuzz_regression_seed9_sssp_prefetch() {
     run_case(&repro_seed9_sssp_prefetch(), None).unwrap();
+}
+
+#[test]
+fn fuzz_regression_seed7_sswp_drop_event() {
+    // Clean run: the shrunk case passes every oracle leg without a fault.
+    run_case(&repro_seed7_sswp_drop_event(), None).unwrap();
+}
+
+#[test]
+fn drop_event_repro_is_still_detected_in_engine() {
+    let failure = run_case(&repro_seed7_sswp_drop_event(), Some(Fault::DropEvent))
+        .expect_err("minimal graph must still expose the dropped event");
+    assert_eq!(failure.check, "chaos-detection", "{failure}");
+    assert!(
+        failure.detail.contains("event-conservation"),
+        "detection must come from the conservation watchdog: {failure}"
+    );
 }
 
 #[test]

@@ -40,6 +40,27 @@ fi
 grep -q "minimal repro (ready-to-paste regression test):" /tmp/gp-fuzz-fault.log \
   || { echo "no shrunk repro in fault output"; cat /tmp/gp-fuzz-fault.log; exit 1; }
 
+echo "== chaos smoke (every fault kind, detect/recover/verify, byte-deterministic) =="
+# Fixed-seed fault-injection campaign: every fault kind x algorithm across
+# the chaos executor, the shard-parallel engine, and the turbo backend.
+# The binary exits non-zero if any scenario goes undetected or recovers to
+# the wrong answer; two runs must be byte-identical (log and JSON).
+cargo run --release -q -p gp-bench --bin chaos -- \
+  --seed 42 --out /tmp/gp-chaos-a.json > /tmp/gp-chaos-a.log
+cargo run --release -q -p gp-bench --bin chaos -- \
+  --seed 42 --out /tmp/gp-chaos-b.json > /tmp/gp-chaos-b.log
+# The final "wrote <path>" line names the per-run output file; everything
+# above it (the campaign log proper) must be byte-identical.
+diff <(grep -v '^wrote ' /tmp/gp-chaos-a.log) \
+     <(grep -v '^wrote ' /tmp/gp-chaos-b.log) \
+  || { echo "chaos campaign log not deterministic"; exit 1; }
+diff /tmp/gp-chaos-a.json /tmp/gp-chaos-b.json \
+  || { echo "chaos campaign JSON not deterministic"; exit 1; }
+# Both the fresh campaign output and the committed record must satisfy the
+# gp-bench/chaos/v1 schema (every scenario detected + recovered bit-exact).
+cargo run --release -q -p gp-bench --bin bench_check -- \
+  /tmp/gp-chaos-a.json BENCH_chaos.json
+
 echo "== turbo-vs-golden smoke + BENCH json schema check =="
 # Quick trajectory (2^12): every point cross-checks turbo against the
 # sequential golden engine, so a semantic regression in gp-turbo fails here.
