@@ -361,23 +361,51 @@ fn turbo_trajectory(json_path: &std::path::Path) {
     }
 }
 
+const USAGE: &str = "\
+Usage: end_to_end [flags]
+  --sweep-only  run only the shard-parallel worker sweep
+  --turbo-only  run only the turbo perf trajectory
+  --json PATH   JSON output path (default BENCH_end_to_end.json)
+  --help        print this reference and exit";
+
+struct Invocation {
+    sweep_only: bool,
+    turbo_only: bool,
+    json_path: String,
+}
+
+fn parse(args: impl Iterator<Item = String>) -> Result<Option<Invocation>, String> {
+    let mut inv = Invocation {
+        sweep_only: false,
+        turbo_only: false,
+        json_path: "BENCH_end_to_end.json".into(),
+    };
+    let mut args = gp_bench::cli::Flags::new(args);
+    while let Some(flag) = args.next_flag() {
+        match flag.as_str() {
+            "--sweep-only" => inv.sweep_only = true,
+            "--turbo-only" => inv.turbo_only = true,
+            "--json" => inv.json_path = args.value(&flag)?,
+            // `cargo bench` forwards its own harness flags (e.g. --bench);
+            // ignore anything unrecognized rather than failing the run.
+            _ => {}
+        }
+    }
+    if args.help_requested() {
+        return Ok(None);
+    }
+    Ok(Some(inv))
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let sweep_only = args.iter().any(|a| a == "--sweep-only");
-    let turbo_only = args.iter().any(|a| a == "--turbo-only");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_end_to_end.json".into());
-    if !sweep_only && !turbo_only {
+    let inv = gp_bench::cli::finish(parse(std::env::args().skip(1)), USAGE);
+    if !inv.sweep_only && !inv.turbo_only {
         per_app_runs();
     }
-    if !turbo_only {
+    if !inv.turbo_only {
         worker_sweep();
     }
-    if !sweep_only {
-        turbo_trajectory(std::path::Path::new(&json_path));
+    if !inv.sweep_only {
+        turbo_trajectory(std::path::Path::new(&inv.json_path));
     }
 }

@@ -7,35 +7,73 @@
 //! For every path given: the file must exist, parse as JSON, and carry a
 //! known schema tag, which selects the validator — `gp-bench/end_to_end/v1`
 //! documents go through `gp_bench::json::validate_end_to_end` (required
-//! keys, positive throughput on both backends) and `gp-bench/chaos/v1`
+//! keys, positive throughput on both backends), `gp-bench/chaos/v1`
 //! documents through `gp_bench::json::validate_chaos` (every scenario
-//! detected and recovered, overhead baselines bit-exact, summary present).
-//! Exits 0 when every file passes, 1 with a readable diagnosis otherwise —
-//! CI runs this so the bench binaries can never silently stop emitting
-//! measurements.
+//! detected and recovered, overhead baselines bit-exact, summary present),
+//! and `gp-bench/serve/v1` documents through `gp_bench::json::validate_serve`
+//! (ordered per-class latency quantiles, golden cross-checks ran and
+//! passed). CI runs this so the bench binaries can never silently stop
+//! emitting measurements.
+//!
+//! Exit status: 0 when every file passes, 1 when a file fails its schema's
+//! validation, 2 on a bad invocation or an unknown schema tag (the
+//! diagnostic names the known tags).
 
-use gp_bench::json::{validate_chaos, validate_end_to_end, Json, CHAOS_SCHEMA, END_TO_END_SCHEMA};
+use gp_bench::json::{
+    validate_chaos, validate_end_to_end, validate_serve, Json, CHAOS_SCHEMA, END_TO_END_SCHEMA,
+    SERVE_SCHEMA,
+};
+
+const USAGE: &str = "\
+Usage: bench_check <BENCH_*.json> [more.json ...]
+
+Validates machine-readable bench output against its embedded schema tag.
+Known schemas: gp-bench/end_to_end/v1, gp-bench/chaos/v1, gp-bench/serve/v1.
+
+Exit status: 0 when every file passes, 1 on a validation failure, 2 on a
+bad invocation or an unknown schema tag.";
 
 type Validator = fn(&Json) -> Result<(), String>;
 
-fn check(path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let doc = Json::parse(&text).map_err(|e| format!("`{path}` is not valid JSON: {e}"))?;
+/// How badly one file failed: validation failures exit 1, structural
+/// problems (unreadable, unparsable, unknown schema) exit 2.
+struct CheckError {
+    exit: i32,
+    message: String,
+}
+
+impl CheckError {
+    fn invalid(message: String) -> Self {
+        CheckError { exit: 1, message }
+    }
+
+    fn unusable(message: String) -> Self {
+        CheckError { exit: 2, message }
+    }
+}
+
+fn check(path: &str) -> Result<(), CheckError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CheckError::unusable(format!("cannot read `{path}`: {e}")))?;
+    let doc = Json::parse(&text)
+        .map_err(|e| CheckError::unusable(format!("`{path}` is not valid JSON: {e}")))?;
     let schema = doc
         .get("schema")
         .and_then(Json::as_str)
-        .ok_or_else(|| format!("`{path}` has no string key \"schema\""))?;
+        .ok_or_else(|| CheckError::unusable(format!("`{path}` has no string key \"schema\"")))?;
     let (validate, count_key): (Validator, &str) = match schema {
         END_TO_END_SCHEMA => (validate_end_to_end, "entries"),
         CHAOS_SCHEMA => (validate_chaos, "scenarios"),
+        SERVE_SCHEMA => (validate_serve, "classes"),
         other => {
-            return Err(format!(
+            return Err(CheckError::unusable(format!(
                 "`{path}` has unknown schema {other:?} \
-                 (known: {END_TO_END_SCHEMA:?}, {CHAOS_SCHEMA:?})"
-            ))
+                 (known: {END_TO_END_SCHEMA:?}, {CHAOS_SCHEMA:?}, {SERVE_SCHEMA:?})"
+            )))
         }
     };
-    validate(&doc).map_err(|e| format!("`{path}` failed schema check: {e}"))?;
+    validate(&doc)
+        .map_err(|e| CheckError::invalid(format!("`{path}` failed schema check: {e}")))?;
     let count = doc
         .get(count_key)
         .and_then(Json::as_arr)
@@ -45,17 +83,21 @@ fn check(path: &str) -> Result<(), String> {
 }
 
 fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
-    if paths.is_empty() || paths.iter().any(|p| p == "--help" || p == "-h") {
-        eprintln!("usage: bench_check <BENCH_*.json> [more.json ...]");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|p| p == "--help" || p == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    if args.is_empty() {
+        eprintln!("error: no files given\n\n{USAGE}");
         std::process::exit(2);
     }
-    let mut failed = false;
-    for path in &paths {
+    let mut exit = 0;
+    for path in &args {
         if let Err(e) = check(path) {
-            eprintln!("error: {e}");
-            failed = true;
+            eprintln!("error: {}", e.message);
+            exit = exit.max(e.exit);
         }
     }
-    std::process::exit(i32::from(failed));
+    std::process::exit(exit);
 }

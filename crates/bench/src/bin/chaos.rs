@@ -34,27 +34,21 @@ struct Args {
     out: std::path::PathBuf,
 }
 
-fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
+fn parse(args: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
     let mut parsed = Args {
         seed: 42,
         out: "BENCH_chaos.json".into(),
     };
-    while let Some(flag) = args.next() {
-        let mut value = || {
-            args.next()
-                .ok_or_else(|| format!("flag {flag} needs a value"))
-        };
+    let mut args = gp_bench::cli::Flags::new(args);
+    while let Some(flag) = args.next_flag() {
         match flag.as_str() {
-            "--help" | "-h" => return Ok(None),
-            "--seed" => {
-                let v = value()?;
-                parsed.seed = v
-                    .parse()
-                    .map_err(|_| format!("--seed takes an integer, got {v:?}"))?;
-            }
-            "--out" => parsed.out = value()?.into(),
-            other => return Err(format!("unknown flag {other}")),
+            "--seed" => parsed.seed = args.parsed(&flag, "an integer")?,
+            "--out" => parsed.out = args.value(&flag)?.into(),
+            other => return Err(gp_bench::cli::Flags::unknown(other)),
         }
+    }
+    if args.help_requested() {
+        return Ok(None);
     }
     Ok(Some(parsed))
 }
@@ -136,17 +130,7 @@ fn to_json(report: &CampaignReport) -> Json {
 }
 
 fn main() {
-    let args = match parse(std::env::args().skip(1)) {
-        Ok(Some(args)) => args,
-        Ok(None) => {
-            println!("{USAGE}");
-            return;
-        }
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            std::process::exit(2);
-        }
-    };
+    let args = gp_bench::cli::finish(parse(std::env::args().skip(1)), USAGE);
     let report = run_campaign(args.seed);
     print!("{}", report.render_log());
     if let Err(e) = write_output(&args.out, &to_json(&report).render()) {

@@ -41,33 +41,19 @@ struct Invocation {
     chaos: bool,
 }
 
-fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Invocation>, String> {
+fn parse(args: impl Iterator<Item = String>) -> Result<Option<Invocation>, String> {
     let mut cfg = FuzzConfig::default();
     let mut chaos = false;
-    while let Some(flag) = args.next() {
-        let mut value = || {
-            args.next()
-                .ok_or_else(|| format!("flag {flag} needs a value"))
-        };
+    let mut args = gp_bench::cli::Flags::new(args);
+    while let Some(flag) = args.next_flag() {
         match flag.as_str() {
-            "--help" | "-h" => return Ok(None),
-            "--seed" => {
-                let v = value()?;
-                cfg.seed = v
-                    .parse()
-                    .map_err(|_| format!("--seed takes an integer, got {v:?}"))?;
-            }
-            "--iters" => {
-                let v = value()?;
-                cfg.iters = v
-                    .parse()
-                    .map_err(|_| format!("--iters takes an integer, got {v:?}"))?;
-            }
+            "--seed" => cfg.seed = args.parsed(&flag, "an integer")?,
+            "--iters" => cfg.iters = args.parsed(&flag, "an integer")?,
             "--shrink" => cfg.shrink = true,
             "--no-shrink" => cfg.shrink = false,
             "--chaos" => chaos = true,
             "--inject-fault" => {
-                let v = value()?;
+                let v = args.value(&flag)?;
                 cfg.fault = Some(Fault::parse(&v).ok_or_else(|| {
                     format!(
                         "unknown fault {v:?}; valid kinds: {}",
@@ -75,24 +61,17 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<Option<Invocation>, S
                     )
                 })?);
             }
-            other => return Err(format!("unknown flag {other}")),
+            other => return Err(gp_bench::cli::Flags::unknown(other)),
         }
+    }
+    if args.help_requested() {
+        return Ok(None);
     }
     Ok(Some(Invocation { cfg, chaos }))
 }
 
 fn main() {
-    let inv = match parse(std::env::args().skip(1)) {
-        Ok(Some(inv)) => inv,
-        Ok(None) => {
-            println!("{}", usage());
-            return;
-        }
-        Err(e) => {
-            eprintln!("error: {e}\n\n{}", usage());
-            std::process::exit(2);
-        }
-    };
+    let inv = gp_bench::cli::finish(parse(std::env::args().skip(1)), &usage());
     if inv.chaos {
         let report = gp_chaos::run_campaign(inv.cfg.seed);
         print!("{}", report.render_log());

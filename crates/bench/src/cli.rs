@@ -1,0 +1,146 @@
+//! Shared command-line plumbing for the gp-bench binaries.
+//!
+//! Every binary used to hand-roll the same `--flag value` walking loop —
+//! the same `--help`/`-h` detection, the same "flag X needs a value" and
+//! "--seed takes an integer" messages, the same exit-code convention —
+//! each with its own slightly drifted copy. [`Flags`] is that loop,
+//! written once: binaries pull flags with [`Flags::next_flag`], fetch
+//! typed values with [`Flags::parsed`], and hand their parse result to
+//! [`finish`], which implements the convention uniformly:
+//!
+//! * `--help` / `-h` anywhere → print the usage text to stdout, exit 0
+//! * any parse error → `error: <why>` plus the usage text on stderr, exit 2
+//!
+//! The parse functions stay pure (`Result<Option<T>, String>`, `Ok(None)`
+//! meaning help) so unit tests can exercise them without spawning a
+//! process; the spawn tests in `tests/cli.rs` check the process-level
+//! contract end to end.
+
+/// Walks `--flag value`-style arguments for a bench binary.
+#[derive(Debug)]
+pub struct Flags {
+    args: std::vec::IntoIter<String>,
+    help: bool,
+}
+
+impl Flags {
+    /// Wraps an argument list (without the program name).
+    pub fn new(args: impl IntoIterator<Item = String>) -> Self {
+        Flags {
+            args: args.into_iter().collect::<Vec<_>>().into_iter(),
+            help: false,
+        }
+    }
+
+    /// Wraps `std::env::args()` minus the program name.
+    pub fn from_env() -> Self {
+        Self::new(std::env::args().skip(1))
+    }
+
+    /// The next flag, or `None` at the end of the line — or at `--help` /
+    /// `-h`, which sets [`help_requested`](Flags::help_requested) so the
+    /// caller can return `Ok(None)`.
+    pub fn next_flag(&mut self) -> Option<String> {
+        let flag = self.args.next()?;
+        if matches!(flag.as_str(), "--help" | "-h") {
+            self.help = true;
+            return None;
+        }
+        Some(flag)
+    }
+
+    /// Whether `--help`/`-h` stopped the walk.
+    pub fn help_requested(&self) -> bool {
+        self.help
+    }
+
+    /// The value following `flag`.
+    ///
+    /// # Errors
+    ///
+    /// "flag X needs a value" when the line ends first.
+    pub fn value(&mut self, flag: &str) -> Result<String, String> {
+        self.args
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))
+    }
+
+    /// The value following `flag`, parsed as `T`; `what` names the
+    /// expected shape in the error ("an integer", "a number", ...).
+    ///
+    /// # Errors
+    ///
+    /// A missing-value or `"{flag} takes {what}, got {value}"` message.
+    pub fn parsed<T: std::str::FromStr>(&mut self, flag: &str, what: &str) -> Result<T, String> {
+        let v = self.value(flag)?;
+        v.parse()
+            .map_err(|_| format!("{flag} takes {what}, got {v:?}"))
+    }
+
+    /// The standard unknown-flag error.
+    pub fn unknown(flag: &str) -> String {
+        format!("unknown flag {flag}")
+    }
+}
+
+/// Applies the shared exit-code convention to a parse result: returns the
+/// configuration on success, prints `usage` and exits 0 on `Ok(None)`
+/// (help), prints the error plus `usage` to stderr and exits 2 on `Err`.
+pub fn finish<T>(result: Result<Option<T>, String>, usage: &str) -> T {
+    match result {
+        Ok(Some(cfg)) => cfg,
+        Ok(None) => {
+            println!("{usage}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{usage}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Flags {
+        Flags::new(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn walks_flags_and_values_in_order() {
+        let mut f = flags(&["--seed", "7", "--out", "x.json"]);
+        assert_eq!(f.next_flag().as_deref(), Some("--seed"));
+        assert_eq!(f.parsed::<u64>("--seed", "an integer").unwrap(), 7);
+        assert_eq!(f.next_flag().as_deref(), Some("--out"));
+        assert_eq!(f.value("--out").unwrap(), "x.json");
+        assert_eq!(f.next_flag(), None);
+        assert!(!f.help_requested());
+    }
+
+    #[test]
+    fn help_stops_the_walk() {
+        let mut f = flags(&["--seed", "3", "-h", "--never-seen"]);
+        assert_eq!(f.next_flag().as_deref(), Some("--seed"));
+        f.value("--seed").unwrap();
+        assert_eq!(f.next_flag(), None);
+        assert!(f.help_requested());
+    }
+
+    #[test]
+    fn errors_match_the_historical_wording() {
+        let mut f = flags(&["--seed"]);
+        f.next_flag();
+        assert_eq!(f.value("--seed").unwrap_err(), "flag --seed needs a value");
+
+        let mut f = flags(&["--seed", "many"]);
+        f.next_flag();
+        assert_eq!(
+            f.parsed::<u64>("--seed", "an integer").unwrap_err(),
+            "--seed takes an integer, got \"many\""
+        );
+
+        assert_eq!(Flags::unknown("--frob"), "unknown flag --frob");
+    }
+}

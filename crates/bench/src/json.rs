@@ -396,6 +396,136 @@ pub const END_TO_END_SCHEMA: &str = "gp-bench/end_to_end/v1";
 /// Schema tag `validate_chaos` requires.
 pub const CHAOS_SCHEMA: &str = "gp-bench/chaos/v1";
 
+/// Schema tag `validate_serve` requires.
+pub const SERVE_SCHEMA: &str = "gp-bench/serve/v1";
+
+/// Validates a `BENCH_serve.json` document: schema tag, positive graph
+/// and traffic totals, a non-empty per-class latency table with ordered
+/// p50 ≤ p99 ≤ p999 quantiles that accounts for every served query, and
+/// the golden cross-check record (some samples verified, zero failures —
+/// a serve bench that stopped checking its answers, or whose answers
+/// diverged from the golden recompute, fails here).
+///
+/// # Errors
+///
+/// Returns a readable description of the first violated rule.
+pub fn validate_serve(doc: &Json) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string key \"schema\"")?;
+    if schema != SERVE_SCHEMA {
+        return Err(format!("schema is {schema:?}, expected {SERVE_SCHEMA:?}"));
+    }
+    doc.get("seed")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric key \"seed\"")?;
+    for key in [
+        "vertices",
+        "edges",
+        "tenants",
+        "clients",
+        "queries_total",
+        "wall_secs",
+        "throughput_qps",
+    ] {
+        let v = doc
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric key {key:?}"))?;
+        if v <= 0.0 {
+            return Err(format!("{key} must be positive, got {v}"));
+        }
+    }
+    for key in [
+        "rejected",
+        "degraded",
+        "epochs_published",
+        "update_batches",
+        "warm_starts",
+        "cold_runs",
+        "fused_runs",
+        "path_cache_hits",
+        "verified_samples",
+        "verify_failures",
+    ] {
+        let v = doc
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric key {key:?}"))?;
+        if v < 0.0 {
+            return Err(format!("{key} must be >= 0, got {v}"));
+        }
+    }
+    let verified = doc
+        .get("verified_samples")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    if verified < 1.0 {
+        return Err("verified_samples is 0 — no golden cross-checks ran".into());
+    }
+    let failures = doc
+        .get("verify_failures")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    if failures != 0.0 {
+        return Err(format!(
+            "verify_failures is {failures} — sampled answers diverged from the golden recompute"
+        ));
+    }
+
+    let classes = doc
+        .get("classes")
+        .and_then(Json::as_arr)
+        .ok_or("missing array key \"classes\"")?;
+    if classes.is_empty() {
+        return Err("\"classes\" is empty — the bench served no query class".into());
+    }
+    let mut served_sum = 0.0;
+    for (i, class) in classes.iter().enumerate() {
+        let ctx = |msg: String| format!("class {i}: {msg}");
+        class
+            .get("class")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing string key \"class\"".into()))?;
+        let mut quantiles = [0.0f64; 3];
+        for (slot, key) in ["served", "mean_us", "p50_us", "p99_us", "p999_us", "max_us"]
+            .iter()
+            .enumerate()
+        {
+            let v = class
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ctx(format!("missing numeric key {key:?}")))?;
+            if v < 0.0 {
+                return Err(ctx(format!("{key} must be >= 0, got {v}")));
+            }
+            if *key == "served" {
+                served_sum += v;
+            }
+            if (2..=4).contains(&slot) {
+                quantiles[slot - 2] = v;
+            }
+        }
+        if quantiles[0] > quantiles[1] || quantiles[1] > quantiles[2] {
+            return Err(ctx(format!(
+                "quantiles out of order: p50 {} p99 {} p999 {}",
+                quantiles[0], quantiles[1], quantiles[2]
+            )));
+        }
+    }
+    let total = doc
+        .get("queries_total")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    if served_sum != total {
+        return Err(format!(
+            "per-class served totals sum to {served_sum} but queries_total is {total}"
+        ));
+    }
+    Ok(())
+}
+
 /// Validates a `BENCH_chaos.json` document: schema tag, non-empty
 /// scenario list with the fault-injection campaign's invariants (every
 /// scenario detected its fault and recovered to the reference — the
@@ -695,6 +825,148 @@ mod tests {
     #[test]
     fn chaos_validator_accepts_a_complete_document() {
         validate_chaos(&sample_chaos_doc()).unwrap();
+    }
+
+    fn sample_serve_class(name: &str, served: f64) -> Json {
+        Json::obj([
+            ("class", Json::Str(name.into())),
+            ("served", Json::Num(served)),
+            ("mean_us", Json::Num(42.0)),
+            ("p50_us", Json::Num(30.0)),
+            ("p99_us", Json::Num(120.0)),
+            ("p999_us", Json::Num(400.0)),
+            ("max_us", Json::Num(900.0)),
+        ])
+    }
+
+    fn sample_serve_doc() -> Json {
+        Json::obj([
+            ("schema", Json::Str(SERVE_SCHEMA.into())),
+            ("seed", Json::Num(42.0)),
+            ("vertices", Json::Num(65536.0)),
+            ("edges", Json::Num(262144.0)),
+            ("tenants", Json::Num(2.0)),
+            ("clients", Json::Num(4.0)),
+            ("queries_total", Json::Num(1000.0)),
+            ("wall_secs", Json::Num(1.5)),
+            ("throughput_qps", Json::Num(666.0)),
+            ("rejected", Json::Num(0.0)),
+            ("degraded", Json::Num(3.0)),
+            ("epochs_published", Json::Num(8.0)),
+            ("update_batches", Json::Num(8.0)),
+            ("warm_starts", Json::Num(7.0)),
+            ("cold_runs", Json::Num(2.0)),
+            ("fused_runs", Json::Num(20.0)),
+            ("path_cache_hits", Json::Num(500.0)),
+            ("verified_samples", Json::Num(64.0)),
+            ("verify_failures", Json::Num(0.0)),
+            (
+                "classes",
+                Json::Arr(vec![
+                    sample_serve_class("pagerank", 400.0),
+                    sample_serve_class("sssp", 600.0),
+                ]),
+            ),
+        ])
+    }
+
+    /// Replaces one top-level numeric key in a serve doc.
+    fn with_serve_field(mut doc: Json, key: &str, value: Json) -> Json {
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == key {
+                    *v = value.clone();
+                }
+            }
+        }
+        doc
+    }
+
+    #[test]
+    fn serve_validator_accepts_a_complete_document() {
+        validate_serve(&sample_serve_doc()).unwrap();
+    }
+
+    #[test]
+    fn serve_validator_rejects_malformed_documents() {
+        let err = validate_serve(&with_serve_field(
+            sample_serve_doc(),
+            "schema",
+            Json::Str("other/v9".into()),
+        ))
+        .unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+
+        let err = validate_serve(&with_serve_field(
+            sample_serve_doc(),
+            "verified_samples",
+            Json::Num(0.0),
+        ))
+        .unwrap_err();
+        assert!(err.contains("no golden cross-checks ran"), "{err}");
+
+        let err = validate_serve(&with_serve_field(
+            sample_serve_doc(),
+            "verify_failures",
+            Json::Num(2.0),
+        ))
+        .unwrap_err();
+        assert!(err.contains("diverged from the golden recompute"), "{err}");
+
+        let err = validate_serve(&with_serve_field(
+            sample_serve_doc(),
+            "throughput_qps",
+            Json::Num(0.0),
+        ))
+        .unwrap_err();
+        assert!(err.contains("throughput_qps must be positive"), "{err}");
+
+        let err = validate_serve(&with_serve_field(
+            sample_serve_doc(),
+            "classes",
+            Json::Arr(vec![]),
+        ))
+        .unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+
+        // Served totals must reconcile with queries_total.
+        let err = validate_serve(&with_serve_field(
+            sample_serve_doc(),
+            "classes",
+            Json::Arr(vec![sample_serve_class("pagerank", 999.0)]),
+        ))
+        .unwrap_err();
+        assert!(err.contains("sum to 999"), "{err}");
+
+        // Quantiles must be ordered.
+        let mut class = sample_serve_class("bfs", 1000.0);
+        if let Json::Obj(pairs) = &mut class {
+            for (k, v) in pairs.iter_mut() {
+                if k == "p99_us" {
+                    *v = Json::Num(10.0);
+                }
+            }
+        }
+        let err = validate_serve(&with_serve_field(
+            sample_serve_doc(),
+            "classes",
+            Json::Arr(vec![class]),
+        ))
+        .unwrap_err();
+        assert!(err.contains("quantiles out of order"), "{err}");
+
+        // A missing latency key is named in the error.
+        let mut class = sample_serve_class("cc", 1000.0);
+        if let Json::Obj(pairs) = &mut class {
+            pairs.retain(|(k, _)| k != "p999_us");
+        }
+        let err = validate_serve(&with_serve_field(
+            sample_serve_doc(),
+            "classes",
+            Json::Arr(vec![class]),
+        ))
+        .unwrap_err();
+        assert!(err.contains("p999_us"), "{err}");
     }
 
     #[test]

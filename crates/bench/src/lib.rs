@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod json;
 
 use gp_algorithms::{
@@ -161,34 +162,24 @@ Common flags (every gp-bench binary):
     /// Returns a human-readable message for unknown flags, flags missing
     /// their value, and unparsable values.
     pub fn try_from_args(args: impl Iterator<Item = String>) -> Result<Option<Self>, String> {
-        fn parsed<T: std::str::FromStr>(flag: &str, v: &str, what: &str) -> Result<T, String> {
-            v.parse()
-                .map_err(|_| format!("{flag} takes {what}, got {v:?}"))
-        }
         let mut cfg = HarnessConfig::default();
-        let mut args = args.peekable();
-        while let Some(flag) = args.next() {
-            if matches!(flag.as_str(), "--help" | "-h") {
-                return Ok(None);
-            }
-            let mut value = || {
-                args.next()
-                    .ok_or_else(|| format!("flag {flag} needs a value"))
-            };
+        let mut args = cli::Flags::new(args);
+        while let Some(flag) = args.next_flag() {
             match flag.as_str() {
-                "--scale" => cfg.scale = parsed(&flag, &value()?, "an integer")?,
-                "--seed" => cfg.seed = parsed(&flag, &value()?, "an integer")?,
-                "--threads" => cfg.threads = parsed(&flag, &value()?, "an integer")?,
-                "--workers" => cfg.workers = Some(parsed(&flag, &value()?, "an integer")?),
+                "--scale" => cfg.scale = args.parsed(&flag, "an integer")?,
+                "--seed" => cfg.seed = args.parsed(&flag, "an integer")?,
+                "--threads" => cfg.threads = args.parsed(&flag, "an integer")?,
+                "--workers" => cfg.workers = Some(args.parsed(&flag, "an integer")?),
                 "--epoch-cycles" => {
-                    cfg.epoch_cycles = Some(parsed(&flag, &value()?, "an integer")?);
+                    cfg.epoch_cycles = Some(args.parsed(&flag, "an integer")?);
                 }
-                "--vertices" => cfg.stream_vertices = parsed(&flag, &value()?, "an integer")?,
-                "--batches" => cfg.batches = parsed(&flag, &value()?, "an integer")?,
-                "--batch-size" => cfg.batch_size = parsed(&flag, &value()?, "an integer")?,
-                "--delete-frac" => cfg.delete_fraction = parsed(&flag, &value()?, "a number")?,
+                "--vertices" => cfg.stream_vertices = args.parsed(&flag, "an integer")?,
+                "--batches" => cfg.batches = args.parsed(&flag, "an integer")?,
+                "--batch-size" => cfg.batch_size = args.parsed(&flag, "an integer")?,
+                "--delete-frac" => cfg.delete_fraction = args.parsed(&flag, "a number")?,
                 "--workloads" => {
-                    cfg.workloads = value()?
+                    cfg.workloads = args
+                        .value(&flag)?
                         .split(',')
                         .map(|w| match w.to_ascii_uppercase().as_str() {
                             "WG" => Ok(Workload::WebGoogle),
@@ -203,7 +194,8 @@ Common flags (every gp-bench binary):
                         .collect::<Result<_, _>>()?;
                 }
                 "--apps" => {
-                    cfg.apps = value()?
+                    cfg.apps = args
+                        .value(&flag)?
                         .split(',')
                         .map(|a| {
                             App::parse(a).ok_or_else(|| {
@@ -212,8 +204,11 @@ Common flags (every gp-bench binary):
                         })
                         .collect::<Result<_, _>>()?;
                 }
-                other => return Err(format!("unknown flag {other}")),
+                other => return Err(cli::Flags::unknown(other)),
             }
+        }
+        if args.help_requested() {
+            return Ok(None);
         }
         Ok(Some(cfg))
     }
@@ -222,17 +217,7 @@ Common flags (every gp-bench binary):
     /// `--help` prints [`HarnessConfig::USAGE`] and exits 0; bad flags
     /// print the error plus the same reference to stderr and exit 2.
     pub fn from_args(args: impl Iterator<Item = String>) -> Self {
-        match Self::try_from_args(args) {
-            Ok(Some(cfg)) => cfg,
-            Ok(None) => {
-                println!("{}", Self::USAGE);
-                std::process::exit(0);
-            }
-            Err(e) => {
-                eprintln!("error: {e}\n\n{}", Self::USAGE);
-                std::process::exit(2);
-            }
-        }
+        cli::finish(Self::try_from_args(args), Self::USAGE)
     }
 
     /// The Ligra configuration derived from the harness knobs.

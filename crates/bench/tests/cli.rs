@@ -1,6 +1,7 @@
-//! Invocation tests for the `fuzz` and `chaos` binaries: good runs exit
-//! 0, bad flags exit 2 with a usage text that enumerates every valid
-//! fault kind.
+//! Invocation tests for the `fuzz`, `chaos`, `serve_bench`, and
+//! `bench_check` binaries: good runs exit 0, validation failures exit 1,
+//! bad flags and unknown schemas exit 2 with a usage text that enumerates
+//! every valid fault kind / schema tag.
 
 use std::process::Command;
 
@@ -73,4 +74,116 @@ fn chaos_bad_flag_exits_2() {
     let out = run(env!("CARGO_BIN_EXE_chaos"), &["--bogus"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("gp-bench-cli-{}-{name}", std::process::id()))
+}
+
+/// A hand-written document that satisfies every `validate_serve` rule;
+/// the malformed variants below each break exactly one of them.
+const VALID_SERVE_DOC: &str = r#"{"schema":"gp-bench/serve/v1","seed":1,"vertices":64,
+"edges":256,"tenants":1,"clients":1,"queries_total":10,"wall_secs":0.1,
+"throughput_qps":100,"rejected":0,"degraded":0,"epochs_published":1,
+"update_batches":1,"warm_starts":0,"cold_runs":1,"fused_runs":1,
+"path_cache_hits":0,"verified_samples":2,"verify_failures":0,
+"classes":[{"class":"pagerank","served":10,"mean_us":5,"p50_us":4,
+"p99_us":9,"p999_us":9,"max_us":9}]}"#;
+
+#[test]
+fn serve_bench_tiny_run_emits_output_bench_check_accepts() {
+    let out_path = temp_path("serve-tiny.json");
+    let out = run(
+        env!("CARGO_BIN_EXE_serve_bench"),
+        &[
+            "--seed",
+            "9",
+            "--vertices",
+            "64",
+            "--queries",
+            "100",
+            "--clients",
+            "2",
+            "--batches",
+            "1",
+            "--batch-size",
+            "8",
+            "--sample-every",
+            "16",
+            "--verify-all",
+            "--out",
+            out_path.to_str().unwrap(),
+        ],
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("0 mismatch(es)"), "{stdout}");
+    let check = run(
+        env!("CARGO_BIN_EXE_bench_check"),
+        &[out_path.to_str().unwrap()],
+    );
+    assert!(
+        check.status.success(),
+        "bench_check rejected serve_bench's own output:\n{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    std::fs::remove_file(&out_path).ok();
+}
+
+#[test]
+fn serve_bench_help_exits_0_and_bad_flag_exits_2() {
+    let help = run(env!("CARGO_BIN_EXE_serve_bench"), &["--help"]);
+    assert!(help.status.success());
+    let stdout = String::from_utf8_lossy(&help.stdout);
+    assert!(stdout.contains("--verify-all"), "{stdout}");
+
+    let bad = run(env!("CARGO_BIN_EXE_serve_bench"), &["--wat"]);
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn bench_check_unknown_schema_exits_2_naming_known_tags() {
+    let path = temp_path("unknown-schema.json");
+    std::fs::write(&path, r#"{"schema": "gp-bench/mystery/v9"}"#).unwrap();
+    let out = run(env!("CARGO_BIN_EXE_bench_check"), &[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for tag in [
+        "gp-bench/end_to_end/v1",
+        "gp-bench/chaos/v1",
+        "gp-bench/serve/v1",
+    ] {
+        assert!(stderr.contains(tag), "must name known tag {tag}:\n{stderr}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bench_check_accepts_valid_serve_doc_and_rejects_tampered_one() {
+    let good = temp_path("serve-good.json");
+    std::fs::write(&good, VALID_SERVE_DOC).unwrap();
+    let out = run(env!("CARGO_BIN_EXE_bench_check"), &[good.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&good).ok();
+
+    // A recorded cross-check failure is a validation failure: exit 1.
+    let bad = temp_path("serve-bad.json");
+    std::fs::write(
+        &bad,
+        VALID_SERVE_DOC.replace("\"verify_failures\":0", "\"verify_failures\":3"),
+    )
+    .unwrap();
+    let out = run(env!("CARGO_BIN_EXE_bench_check"), &[bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("diverged"));
+    std::fs::remove_file(&bad).ok();
 }

@@ -52,6 +52,6 @@ pub mod workloads;
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, EdgeRef, OutEdges};
 pub use gp_sim::rng;
-pub use overlay::{AppliedBatch, EdgeUpdate, OverlayGraph};
+pub use overlay::{AppliedBatch, EdgeUpdate, GraphSnapshot, OverlayGraph};
 pub use vertex::VertexId;
 pub use view::{GraphView, VertexIds};

@@ -20,6 +20,7 @@
 //! neighbor-sorted invariant from [`GraphBuilder`](crate::GraphBuilder).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::view::GraphView;
 use crate::{CsrGraph, EdgeRef, GraphBuilder, VertexId};
@@ -92,7 +93,10 @@ struct PatchList {
 /// vertices. See the module-level docs above for the layout.
 #[derive(Debug, Clone)]
 pub struct OverlayGraph {
-    base: CsrGraph,
+    /// Shared with every [`GraphSnapshot`] frozen from this overlay:
+    /// compaction *replaces* the `Arc` rather than mutating through it, so
+    /// pinned snapshots keep reading the base they were frozen against.
+    base: Arc<CsrGraph>,
     out_patch: BTreeMap<u32, PatchList>,
     /// In-lists of vertices whose in-adjacency changed; `(src, weight)`
     /// sorted by src. In-lists need no pool addresses (only the forward
@@ -108,7 +112,7 @@ impl OverlayGraph {
     pub fn new(base: CsrGraph) -> Self {
         let live_edges = base.num_edges();
         OverlayGraph {
-            base,
+            base: Arc::new(base),
             out_patch: BTreeMap::new(),
             in_patch: BTreeMap::new(),
             pool_len: 0,
@@ -119,6 +123,24 @@ impl OverlayGraph {
     /// The underlying static CSR (stale for patched vertices).
     pub fn base(&self) -> &CsrGraph {
         &self.base
+    }
+
+    /// Freezes the current adjacency into an immutable [`GraphSnapshot`].
+    ///
+    /// Cost is O(patched vertices), not O(V + E): the base CSR is shared
+    /// by `Arc` and only the patch tables are cloned. Later mutations *and
+    /// compactions* of this overlay leave the snapshot untouched —
+    /// [`OverlayGraph::compact`] swaps the base `Arc` instead of rebuilding
+    /// in place — which is what lets a serving layer pin epoch N while a
+    /// writer publishes N+1.
+    pub fn freeze(&self) -> GraphSnapshot {
+        GraphSnapshot {
+            base: Arc::clone(&self.base),
+            out_patch: Arc::new(self.out_patch.clone()),
+            in_patch: Arc::new(self.in_patch.clone()),
+            pool_len: self.pool_len,
+            live_edges: self.live_edges,
+        }
     }
 
     /// Number of vertices with a patched out-list.
@@ -315,7 +337,7 @@ impl OverlayGraph {
             self.pool_len = 0;
             return;
         }
-        self.base = self.to_csr();
+        self.base = Arc::new(self.to_csr());
         self.out_patch.clear();
         self.in_patch.clear();
         self.pool_len = 0;
@@ -416,6 +438,118 @@ impl OverlayGraph {
 /// so repeated single-edge inserts amortize relocations.
 fn pool_region(len: usize) -> usize {
     len.next_power_of_two().max(2)
+}
+
+/// An immutable, cheaply clonable point-in-time view of an
+/// [`OverlayGraph`], produced by [`OverlayGraph::freeze`].
+///
+/// The base CSR and the patch tables are shared behind `Arc`s, so cloning
+/// a snapshot (one reader pinning an epoch) is two reference-count bumps.
+/// Nothing can mutate a snapshot after it is frozen: the overlay's
+/// mutators copy-on-write their own patch maps and compaction replaces the
+/// base `Arc`, never the CSR behind it. Reads see exactly the adjacency
+/// the overlay had at freeze time, via the same patch-indirection as
+/// [`OverlayGraph`] itself.
+#[derive(Debug, Clone)]
+pub struct GraphSnapshot {
+    base: Arc<CsrGraph>,
+    out_patch: Arc<BTreeMap<u32, PatchList>>,
+    in_patch: Arc<BTreeMap<u32, Vec<(u32, f32)>>>,
+    pool_len: usize,
+    live_edges: usize,
+}
+
+impl GraphSnapshot {
+    /// The static CSR this snapshot patches over (stale for patched
+    /// vertices).
+    pub fn base(&self) -> &CsrGraph {
+        &self.base
+    }
+
+    /// Number of vertices with a patched out-list at freeze time.
+    pub fn patched_vertices(&self) -> usize {
+        self.out_patch.len()
+    }
+
+    /// Current out-edges of `v`, in neighbor-sorted order.
+    pub fn out_edges_vec(&self, v: VertexId) -> Vec<EdgeRef> {
+        match self.out_patch.get(&v.get()) {
+            Some(patch) => patch
+                .edges
+                .iter()
+                .map(|&(n, w)| EdgeRef {
+                    other: VertexId::new(n),
+                    weight: w,
+                })
+                .collect(),
+            None => self.base.out_edges(v).collect(),
+        }
+    }
+}
+
+impl GraphView for GraphSnapshot {
+    fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.live_edges
+    }
+
+    fn edge_span(&self) -> usize {
+        self.base.num_edges() + self.pool_len
+    }
+
+    fn is_weighted(&self) -> bool {
+        self.base.is_weighted()
+    }
+
+    fn out_degree(&self, v: VertexId) -> u32 {
+        match self.out_patch.get(&v.get()) {
+            Some(patch) => patch.edges.len() as u32,
+            None => self.base.out_degree(v),
+        }
+    }
+
+    fn out_edge(&self, v: VertexId, i: u32) -> EdgeRef {
+        match self.out_patch.get(&v.get()) {
+            Some(patch) => {
+                let (n, w) = patch.edges[i as usize];
+                EdgeRef {
+                    other: VertexId::new(n),
+                    weight: w,
+                }
+            }
+            None => self.base.out_edge(v, i),
+        }
+    }
+
+    fn out_edge_base(&self, v: VertexId) -> usize {
+        match self.out_patch.get(&v.get()) {
+            Some(patch) => self.base.num_edges() + patch.base_addr,
+            None => self.base.out_edge_base(v),
+        }
+    }
+
+    fn in_degree(&self, v: VertexId) -> u32 {
+        match self.in_patch.get(&v.get()) {
+            Some(list) => list.len() as u32,
+            None => self.base.in_degree(v),
+        }
+    }
+
+    fn in_edge(&self, v: VertexId, i: u32) -> EdgeRef {
+        match self.in_patch.get(&v.get()) {
+            Some(list) => {
+                let (n, w) = list[i as usize];
+                EdgeRef {
+                    other: VertexId::new(n),
+                    weight: w,
+                }
+            }
+            None => self.base.in_edge(v, i),
+        }
+    }
 }
 
 impl GraphView for OverlayGraph {
@@ -617,6 +751,65 @@ mod tests {
             GraphView::out_edge_base(&o, v(8)),
             o.base().out_edge_base(v(8))
         );
+    }
+
+    #[test]
+    fn freeze_mirrors_overlay_and_survives_mutation() {
+        let mut o = OverlayGraph::new(base());
+        o.insert_edge(v(1), v(30), 5.0);
+        o.delete_edge(v(2), o.out_edges_vec(v(2))[0].other);
+        let snap = o.freeze();
+        let frozen = edge_set(&snap);
+        assert_eq!(frozen, edge_set(&o), "snapshot mirrors overlay");
+        assert_eq!(GraphView::num_edges(&snap), GraphView::num_edges(&o));
+        // Mutating the overlay after freeze must not leak into the
+        // snapshot (copy-on-write patch tables).
+        o.insert_edge(v(5), v(25), 7.0);
+        o.delete_edge(v(1), v(30));
+        assert_eq!(
+            edge_set(&snap),
+            frozen,
+            "snapshot mutated by overlay writes"
+        );
+        assert_ne!(edge_set(&o), frozen);
+    }
+
+    #[test]
+    fn freeze_survives_compaction() {
+        let mut o = OverlayGraph::new(base());
+        for i in 0..10u32 {
+            o.insert_edge(v(i), v((i + 13) % 40), 2.5);
+        }
+        let snap = o.freeze();
+        let frozen = edge_set(&snap);
+        assert!(snap.patched_vertices() > 0);
+        // Compaction swaps the overlay's base Arc; the snapshot keeps the
+        // base it was frozen against and stays bit-identical.
+        o.insert_edge(v(20), v(3), 9.0);
+        o.compact();
+        assert_eq!(o.patched_vertices(), 0);
+        assert_eq!(
+            edge_set(&snap),
+            frozen,
+            "compaction disturbed a pinned snapshot"
+        );
+        assert_eq!(snap.base().num_edges(), base().num_edges());
+        // In-adjacency is frozen too.
+        let d = v(13);
+        let in_list: Vec<u32> = (0..GraphView::in_degree(&snap, d))
+            .map(|i| GraphView::in_edge(&snap, d, i).other.get())
+            .collect();
+        assert!(in_list.contains(&0), "inserted in-edge 0->13 missing");
+    }
+
+    #[test]
+    fn snapshot_clone_is_shallow_and_identical() {
+        let mut o = OverlayGraph::new(base());
+        o.insert_edge(v(4), v(17), 1.5);
+        let a = o.freeze();
+        let b = a.clone();
+        assert_eq!(edge_set(&a), edge_set(&b));
+        assert_eq!(a.edge_span(), b.edge_span());
     }
 
     #[test]

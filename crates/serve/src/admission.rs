@@ -1,0 +1,255 @@
+//! Admission control: bounded per-tenant queues with typed load-shedding.
+//!
+//! Every query enters through [`AdmissionQueues::submit`], which enforces
+//! three limits *before* any work is queued: the tenant must exist, the
+//! tenant's own queue must have room (one tenant flooding the service
+//! cannot starve the others — its surplus is shed, not theirs), and the
+//! global backlog across all tenants must be under the overload ceiling.
+//! Shedding is a typed [`Rejection`] returned to the caller immediately —
+//! never a silent drop, never an unbounded queue.
+//!
+//! The executor drains admitted requests round-robin across tenants (one
+//! slice per tenant per sweep), which keeps tail latency fair under
+//! asymmetric offered load.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a request was shed instead of served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// The tenant's bounded queue is full — per-tenant backpressure.
+    QueueFull {
+        /// The tenant whose queue overflowed.
+        tenant: String,
+    },
+    /// The tenant name is not registered with the server.
+    UnknownTenant {
+        /// The unrecognized name.
+        tenant: String,
+    },
+    /// The global backlog (all tenants) hit the overload ceiling.
+    Overloaded,
+    /// The query itself is malformed (e.g. vertex id out of range).
+    BadQuery(String),
+    /// The server is shutting down and no longer admits work.
+    ShuttingDown,
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejection::QueueFull { tenant } => write!(f, "queue-full: tenant {tenant:?}"),
+            Rejection::UnknownTenant { tenant } => write!(f, "unknown-tenant: {tenant:?}"),
+            Rejection::Overloaded => write!(f, "overloaded: global backlog at capacity"),
+            Rejection::BadQuery(msg) => write!(f, "bad-query: {msg}"),
+            Rejection::ShuttingDown => write!(f, "shutting-down"),
+        }
+    }
+}
+
+struct Queues<T> {
+    per_tenant: Vec<VecDeque<T>>,
+    total: usize,
+    /// Round-robin cursor: which tenant the next drain sweep starts at.
+    cursor: usize,
+    closed: bool,
+}
+
+/// Bounded per-tenant admission queues with a condvar-signalled drain side.
+pub struct AdmissionQueues<T> {
+    tenants: Vec<String>,
+    queue_capacity: usize,
+    global_capacity: usize,
+    state: Mutex<Queues<T>>,
+    ready: Condvar,
+}
+
+impl<T> AdmissionQueues<T> {
+    /// Creates one bounded queue per tenant. `queue_capacity` bounds each
+    /// tenant's backlog; `global_capacity` bounds the sum.
+    pub fn new(tenants: Vec<String>, queue_capacity: usize, global_capacity: usize) -> Self {
+        let n = tenants.len();
+        AdmissionQueues {
+            tenants,
+            queue_capacity: queue_capacity.max(1),
+            global_capacity: global_capacity.max(1),
+            state: Mutex::new(Queues {
+                per_tenant: (0..n).map(|_| VecDeque::new()).collect(),
+                total: 0,
+                cursor: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Registered tenant names, in id order.
+    pub fn tenants(&self) -> &[String] {
+        &self.tenants
+    }
+
+    /// Resolves a tenant name to its id.
+    pub fn tenant_id(&self, name: &str) -> Option<usize> {
+        self.tenants.iter().position(|t| t == name)
+    }
+
+    /// Admits `item` for `tenant` (by id), or sheds it with a typed
+    /// [`Rejection`].
+    ///
+    /// # Errors
+    ///
+    /// [`Rejection::UnknownTenant`] for an out-of-range id,
+    /// [`Rejection::QueueFull`] / [`Rejection::Overloaded`] on the
+    /// per-tenant / global bounds, [`Rejection::ShuttingDown`] after
+    /// [`close`](AdmissionQueues::close).
+    pub fn submit(&self, tenant: usize, item: T) -> Result<(), Rejection> {
+        if tenant >= self.tenants.len() {
+            return Err(Rejection::UnknownTenant {
+                tenant: format!("#{tenant}"),
+            });
+        }
+        let mut q = self.state.lock().expect("admission lock poisoned");
+        if q.closed {
+            return Err(Rejection::ShuttingDown);
+        }
+        if q.total >= self.global_capacity {
+            return Err(Rejection::Overloaded);
+        }
+        if q.per_tenant[tenant].len() >= self.queue_capacity {
+            return Err(Rejection::QueueFull {
+                tenant: self.tenants[tenant].clone(),
+            });
+        }
+        q.per_tenant[tenant].push_back(item);
+        q.total += 1;
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Drains up to `max` admitted items, round-robin across tenants,
+    /// blocking up to `wait` when nothing is queued. Returns an empty
+    /// vector on timeout or when the queues are closed and empty (the
+    /// executor's exit signal is closed + empty).
+    pub fn drain(&self, max: usize, wait: Duration) -> Vec<T> {
+        let mut q = self.state.lock().expect("admission lock poisoned");
+        if q.total == 0 && !q.closed {
+            let (guard, _timeout) = self
+                .ready
+                .wait_timeout(q, wait)
+                .expect("admission lock poisoned");
+            q = guard;
+        }
+        let n = q.per_tenant.len();
+        let mut out = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        // Round-robin: one item per tenant per pass, starting at the
+        // cursor, until `max` items or empty.
+        while out.len() < max && q.total > 0 {
+            let mut took_any = false;
+            for i in 0..n {
+                if out.len() >= max {
+                    break;
+                }
+                let t = (q.cursor + i) % n;
+                if let Some(item) = q.per_tenant[t].pop_front() {
+                    q.total -= 1;
+                    out.push(item);
+                    took_any = true;
+                }
+            }
+            q.cursor = (q.cursor + 1) % n;
+            if !took_any {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Current global backlog.
+    pub fn backlog(&self) -> usize {
+        self.state.lock().expect("admission lock poisoned").total
+    }
+
+    /// Whether the queues are closed and drained — the executor's exit
+    /// condition.
+    pub fn is_finished(&self) -> bool {
+        let q = self.state.lock().expect("admission lock poisoned");
+        q.closed && q.total == 0
+    }
+
+    /// Stops admitting new work; already-queued items still drain.
+    pub fn close(&self) {
+        self.state.lock().expect("admission lock poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queues(cap: usize, global: usize) -> AdmissionQueues<u32> {
+        AdmissionQueues::new(vec!["a".into(), "b".into()], cap, global)
+    }
+
+    #[test]
+    fn per_tenant_bound_sheds_only_the_flooder() {
+        let q = queues(2, 100);
+        assert!(q.submit(0, 1).is_ok());
+        assert!(q.submit(0, 2).is_ok());
+        assert_eq!(
+            q.submit(0, 3),
+            Err(Rejection::QueueFull { tenant: "a".into() })
+        );
+        // The other tenant still gets in.
+        assert!(q.submit(1, 9).is_ok());
+    }
+
+    #[test]
+    fn global_bound_rejects_with_overloaded() {
+        let q = queues(10, 3);
+        for i in 0..3 {
+            q.submit((i % 2) as usize, i).unwrap();
+        }
+        assert_eq!(q.submit(1, 99), Err(Rejection::Overloaded));
+    }
+
+    #[test]
+    fn unknown_tenant_is_typed() {
+        let q = queues(2, 10);
+        assert!(matches!(
+            q.submit(7, 0),
+            Err(Rejection::UnknownTenant { .. })
+        ));
+    }
+
+    #[test]
+    fn drain_is_round_robin_and_bounded() {
+        let q = queues(10, 100);
+        for i in 0..4u32 {
+            q.submit(0, i).unwrap();
+        }
+        q.submit(1, 100).unwrap();
+        let batch = q.drain(3, Duration::from_millis(1));
+        // One per tenant per pass: a0, b100, then a1.
+        assert_eq!(batch, vec![0, 100, 1]);
+        assert_eq!(q.backlog(), 2);
+    }
+
+    #[test]
+    fn close_rejects_new_but_drains_old() {
+        let q = queues(4, 10);
+        q.submit(0, 5).unwrap();
+        q.close();
+        assert_eq!(q.submit(0, 6), Err(Rejection::ShuttingDown));
+        assert!(!q.is_finished());
+        assert_eq!(q.drain(10, Duration::from_millis(1)), vec![5]);
+        assert!(q.is_finished());
+    }
+}

@@ -1,0 +1,296 @@
+//! The query executor: windowed batching, shared runs, warm starts, and
+//! degradation.
+//!
+//! One executor thread drains admitted queries in sweeps of up to
+//! [`max_batch`](crate::ServeConfig::max_batch) (waiting up to
+//! [`batch_window`](crate::ServeConfig::batch_window) when idle), pins the
+//! current epoch once per sweep, and serves every query in the sweep from
+//! that pin:
+//!
+//! * **PageRank / CC** are whole-graph computations memoized per epoch.
+//!   The first read after an epoch advance re-converges the cached state —
+//!   warm-started via [`incremental_seeds`] + [`run_turbo_seeded`] when
+//!   the cache sits exactly one overlay delta behind (the common case
+//!   under streaming updates), cold otherwise, and cold every
+//!   [`warm_limit`](crate::ServeConfig::warm_limit) warm starts to bound
+//!   incremental drift. Every read within the epoch is then an array
+//!   index.
+//! * **Path queries** (SSSP/BFS/SSWP) batch by class: distinct sources in
+//!   the sweep fuse into [`FusedPaths`] runs of up to [`LANES`] lanes —
+//!   one traversal serving up to [`LANES`] single-source problems — and
+//!   each source's full result column is cached for the epoch, so
+//!   repeated sources (hot entities in skewed traffic) are array reads.
+//! * **Degradation**: when the writer lags by
+//!   [`degrade_lag`](crate::ServeConfig::degrade_lag) batches or more,
+//!   the sweep serves whatever epoch its caches already hold — flagged
+//!   [`degraded`](crate::QueryResponse::degraded), and still *exact for
+//!   the epoch the response names* — instead of recomputing toward a
+//!   current epoch the writer is about to obsolete anyway.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use gp_algorithms::engine::initial_state;
+use gp_algorithms::{incremental_seeds, ConnectedComponents, IncrementalAlgorithm, PageRankDelta};
+use gp_graph::{GraphView, VertexId};
+use gp_turbo::run_turbo_seeded;
+
+use crate::fused::{FusedPaths, PathKind, LANES};
+use crate::snapshot::Epoch;
+use crate::{Query, QueryClass, QueryResponse, Request, ServeStats, Shared};
+
+/// Executor thread body: sweep until the queues are closed and drained.
+pub(crate) fn run(shared: &Shared) {
+    let mut exec = Executor {
+        shared,
+        pagerank: ClassCache::new(PageRankDelta::new(
+            shared.config.pagerank_damping,
+            shared.config.pagerank_threshold,
+        )),
+        components: ClassCache::new(ConnectedComponents::new()),
+        path_cache: HashMap::new(),
+    };
+    loop {
+        let batch = shared
+            .queues
+            .drain(shared.config.max_batch, shared.config.batch_window);
+        if batch.is_empty() {
+            if shared.queues.is_finished() {
+                break;
+            }
+            continue;
+        }
+        exec.serve_sweep(batch);
+    }
+}
+
+/// Per-epoch memoized whole-graph state for one algorithm.
+struct ClassCache<A: IncrementalAlgorithm> {
+    algo: A,
+    /// Epoch `values` is converged at; `None` before the first run.
+    epoch: Option<u64>,
+    values: Vec<A::Value>,
+    projected: Vec<f64>,
+    warm_streak: u32,
+}
+
+impl<A: IncrementalAlgorithm> ClassCache<A> {
+    fn new(algo: A) -> Self {
+        ClassCache {
+            algo,
+            epoch: None,
+            values: Vec::new(),
+            projected: Vec::new(),
+            warm_streak: 0,
+        }
+    }
+
+    /// Makes `projected` valid for some epoch and returns
+    /// `(epoch_served, degraded)`: the pinned epoch normally, the stale
+    /// cached epoch under degradation.
+    fn ensure(&mut self, shared: &Shared, epoch: &Epoch, degraded_mode: bool) -> (u64, bool) {
+        if self.epoch == Some(epoch.number) {
+            return (epoch.number, false);
+        }
+        if degraded_mode {
+            if let Some(stale) = self.epoch {
+                return (stale, true);
+            }
+        }
+        let warm = match (self.epoch, &epoch.delta) {
+            (Some(at), Some(delta))
+                if at == epoch.parent
+                    && self.warm_streak < shared.config.warm_limit
+                    && self.values.len() == epoch.graph.num_vertices() =>
+            {
+                let plan = incremental_seeds(&self.algo, &epoch.graph, &mut self.values, delta);
+                run_turbo_seeded(
+                    &self.algo,
+                    &epoch.graph,
+                    &mut self.values,
+                    &plan.seeds,
+                    &shared.config.turbo,
+                );
+                true
+            }
+            _ => false,
+        };
+        if warm {
+            self.warm_streak += 1;
+            ServeStats::count(&shared.stats.warm_starts);
+        } else {
+            let (mut values, seeds) = initial_state(&self.algo, &epoch.graph);
+            run_turbo_seeded(
+                &self.algo,
+                &epoch.graph,
+                &mut values,
+                &seeds,
+                &shared.config.turbo,
+            );
+            self.values = values;
+            self.warm_streak = 0;
+            ServeStats::count(&shared.stats.cold_runs);
+        }
+        self.projected = self
+            .values
+            .iter()
+            .map(|&v| self.algo.value_to_f64(v))
+            .collect();
+        self.epoch = Some(epoch.number);
+        (epoch.number, false)
+    }
+}
+
+/// One cached multi-source lane column: the epoch it was computed at and
+/// the per-destination results.
+type CachedColumn = (u64, Arc<Vec<f64>>);
+
+struct Executor<'a> {
+    shared: &'a Shared,
+    pagerank: ClassCache<PageRankDelta>,
+    components: ClassCache<ConnectedComponents>,
+    /// `(kind, source) -> (epoch, per-destination results)`.
+    path_cache: HashMap<(PathKind, u32), CachedColumn>,
+}
+
+impl Executor<'_> {
+    fn serve_sweep(&mut self, batch: Vec<Request>) {
+        ServeStats::count(&self.shared.stats.sweeps);
+        let epoch = self.shared.store.pin();
+        let degraded_mode =
+            self.shared.update_lag.load(Ordering::Relaxed) >= self.shared.config.degrade_lag;
+
+        let mut value_reads: Vec<(QueryClass, u32, std::sync::mpsc::Sender<QueryResponse>)> =
+            Vec::new();
+        let mut paths: HashMap<PathKind, Vec<(u32, u32, std::sync::mpsc::Sender<QueryResponse>)>> =
+            HashMap::new();
+        for req in batch {
+            match req.query {
+                Query::PageRank { v } => {
+                    value_reads.push((QueryClass::PageRank, v.get(), req.reply))
+                }
+                Query::Components { v } => {
+                    value_reads.push((QueryClass::Components, v.get(), req.reply));
+                }
+                Query::Sssp { src, dst } => {
+                    paths
+                        .entry(PathKind::Sssp)
+                        .or_default()
+                        .push((src.get(), dst.get(), req.reply))
+                }
+                Query::Bfs { src, dst } => {
+                    paths
+                        .entry(PathKind::Bfs)
+                        .or_default()
+                        .push((src.get(), dst.get(), req.reply))
+                }
+                Query::Sswp { src, dst } => {
+                    paths
+                        .entry(PathKind::Sswp)
+                        .or_default()
+                        .push((src.get(), dst.get(), req.reply))
+                }
+            }
+        }
+
+        // Whole-graph classes: one ensure per class per sweep, then every
+        // read in the sweep shares it.
+        let need_pr = value_reads.iter().any(|(c, ..)| *c == QueryClass::PageRank);
+        let need_cc = value_reads
+            .iter()
+            .any(|(c, ..)| *c == QueryClass::Components);
+        let pr_at = need_pr.then(|| self.pagerank.ensure(self.shared, &epoch, degraded_mode));
+        let cc_at = need_cc.then(|| self.components.ensure(self.shared, &epoch, degraded_mode));
+        for (class, v, reply) in value_reads {
+            let ((served_epoch, degraded), projected) = match class {
+                QueryClass::PageRank => (pr_at.expect("ensured"), &self.pagerank.projected),
+                QueryClass::Components => (cc_at.expect("ensured"), &self.components.projected),
+                _ => unreachable!("value_reads holds only whole-graph classes"),
+            };
+            let _ = reply.send(QueryResponse {
+                epoch: served_epoch,
+                value: projected[v as usize],
+                degraded,
+            });
+            self.shared.stats.count_served(class, degraded);
+        }
+
+        for kind in [PathKind::Sssp, PathKind::Bfs, PathKind::Sswp] {
+            if let Some(reqs) = paths.remove(&kind) {
+                self.serve_paths(kind, reqs, &epoch, degraded_mode);
+            }
+        }
+    }
+
+    fn serve_paths(
+        &mut self,
+        kind: PathKind,
+        reqs: Vec<(u32, u32, std::sync::mpsc::Sender<QueryResponse>)>,
+        epoch: &Epoch,
+        degraded_mode: bool,
+    ) {
+        // Classify sources: usable cache entry (current epoch, or any
+        // epoch under degradation) vs. needs computing. BTreeSet dedups
+        // and fixes lane order deterministically.
+        let mut needed: BTreeSet<u32> = BTreeSet::new();
+        for &(src, ..) in &reqs {
+            match self.path_cache.get(&(kind, src)) {
+                Some(&(at, _)) if at == epoch.number => {
+                    ServeStats::count(&self.shared.stats.path_cache_hits);
+                }
+                Some(_) if degraded_mode => {
+                    ServeStats::count(&self.shared.stats.path_cache_hits);
+                }
+                _ => {
+                    needed.insert(src);
+                }
+            }
+        }
+
+        // Fuse missing sources into shared traversals, LANES at a time.
+        let needed: Vec<u32> = needed.into_iter().collect();
+        for chunk in needed.chunks(LANES) {
+            let sources: Vec<VertexId> = chunk.iter().map(|&s| VertexId::new(s)).collect();
+            let fused = FusedPaths::new(kind, &sources);
+            let (mut values, seeds) = initial_state(&fused, &epoch.graph);
+            run_turbo_seeded(
+                &fused,
+                &epoch.graph,
+                &mut values,
+                &seeds,
+                &self.shared.config.turbo,
+            );
+            ServeStats::count(&self.shared.stats.fused_runs);
+            for (lane, &src) in chunk.iter().enumerate() {
+                let column: Vec<f64> = values.iter().map(|v| v[lane]).collect();
+                self.path_cache
+                    .insert((kind, src), (epoch.number, Arc::new(column)));
+            }
+        }
+
+        let class = match kind {
+            PathKind::Sssp => QueryClass::Sssp,
+            PathKind::Bfs => QueryClass::Bfs,
+            PathKind::Sswp => QueryClass::Sswp,
+        };
+        for (src, dst, reply) in reqs {
+            let (at, column) = self
+                .path_cache
+                .get(&(kind, src))
+                .expect("every source is cached or was just computed");
+            let degraded = *at != epoch.number;
+            let _ = reply.send(QueryResponse {
+                epoch: *at,
+                value: column[dst as usize],
+                degraded,
+            });
+            self.shared.stats.count_served(class, degraded);
+        }
+
+        // Crude bound on cache memory: a full reset once over capacity.
+        if self.path_cache.len() > self.shared.config.path_cache_sources {
+            self.path_cache.clear();
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Line-oriented TCP front end.
+//!
+//! The concurrency/versioning architecture is the point of this crate,
+//! not the protocol — so the wire format is a deliberately minimal,
+//! human-typeable line protocol over the same [`ServeClient`] /
+//! [`Updater`] paths the in-process API uses:
+//!
+//! ```text
+//! Q <tenant> pagerank <v>        -> OK <epoch> <value> [degraded]
+//! Q <tenant> cc <v>              -> OK <epoch> <value> [degraded]
+//! Q <tenant> sssp <src> <dst>    -> OK <epoch> <value> [degraded]
+//! Q <tenant> bfs <src> <dst>     -> OK <epoch> <value> [degraded]
+//! Q <tenant> sswp <src> <dst>    -> OK <epoch> <value> [degraded]
+//! U insert <src> <dst> <weight>  -> OK update queued
+//! U delete <src> <dst>           -> OK update queued
+//! EPOCH                          -> OK <current epoch>
+//! ```
+//!
+//! Any rejection or parse failure answers `ERR <reason>` and keeps the
+//! connection open; an empty line closes it. One thread per connection
+//! (std-only, no async runtime), which is plenty for a management-plane
+//! protocol — bulk traffic uses the in-process API.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread::JoinHandle;
+
+use gp_graph::{EdgeUpdate, VertexId};
+
+use crate::{Query, QueryClass, Rejection, ServeClient, Updater};
+
+/// A running TCP front end.
+pub struct TcpFrontEnd {
+    local_addr: std::net::SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpFrontEnd {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting
+    /// connections, each served by its own thread against `client` /
+    /// `updater` clones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind(addr: &str, client: ServeClient, updater: Updater) -> std::io::Result<TcpFrontEnd> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let accept_thread = std::thread::Builder::new()
+            .name("gp-serve-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { break };
+                    let client = client.clone();
+                    let updater = updater.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("gp-serve-conn".into())
+                        .spawn(move || serve_connection(stream, &client, &updater));
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(TcpFrontEnd {
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+}
+
+impl Drop for TcpFrontEnd {
+    fn drop(&mut self) {
+        // The accept thread exits when the listener errors (process
+        // teardown) — detach rather than block here.
+        if let Some(h) = self.accept_thread.take() {
+            drop(h);
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, client: &ServeClient, updater: &Updater) {
+    let Ok(peer) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(peer);
+    let mut out = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return;
+        }
+        let response = handle_line(trimmed, client, updater);
+        if writeln!(out, "{response}").is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_line(line: &str, client: &ServeClient, updater: &Updater) -> String {
+    match dispatch(line, client, updater) {
+        Ok(ok) => ok,
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+fn dispatch(line: &str, client: &ServeClient, updater: &Updater) -> Result<String, String> {
+    let mut words = line.split_whitespace();
+    match words.next() {
+        Some("Q") => {
+            let tenant_name = words.next().ok_or("usage: Q <tenant> <class> <args>")?;
+            let tenant = client.tenant_id(tenant_name).ok_or_else(|| {
+                Rejection::UnknownTenant {
+                    tenant: tenant_name.to_string(),
+                }
+                .to_string()
+            })?;
+            let class = words.next().ok_or("missing query class")?;
+            let class = QueryClass::parse(class).ok_or_else(|| {
+                format!("unknown class {class:?} (known: pagerank, cc, sssp, bfs, sswp)")
+            })?;
+            let query = parse_query(class, &mut words)?;
+            if words.next().is_some() {
+                return Err("trailing arguments".into());
+            }
+            let r = client.query(tenant, query).map_err(|e| e.to_string())?;
+            Ok(if r.degraded {
+                format!("OK {} {} degraded", r.epoch, r.value)
+            } else {
+                format!("OK {} {}", r.epoch, r.value)
+            })
+        }
+        Some("U") => {
+            let update = match words.next() {
+                Some("insert") => EdgeUpdate::Insert {
+                    src: parse_vertex(words.next(), client)?,
+                    dst: parse_vertex(words.next(), client)?,
+                    weight: words
+                        .next()
+                        .ok_or("usage: U insert <src> <dst> <weight>")?
+                        .parse::<f32>()
+                        .map_err(|e| format!("bad weight: {e}"))?,
+                },
+                Some("delete") => EdgeUpdate::Delete {
+                    src: parse_vertex(words.next(), client)?,
+                    dst: parse_vertex(words.next(), client)?,
+                },
+                _ => return Err("usage: U <insert|delete> ...".into()),
+            };
+            if words.next().is_some() {
+                return Err("trailing arguments".into());
+            }
+            updater
+                .try_submit(vec![update])
+                .map_err(|e| e.to_string())?;
+            Ok("OK update queued".into())
+        }
+        Some("EPOCH") => Ok(format!("OK {}", client.current_epoch())),
+        _ => Err("unknown command (known: Q, U, EPOCH)".into()),
+    }
+}
+
+fn parse_query<'a>(
+    class: QueryClass,
+    words: &mut impl Iterator<Item = &'a str>,
+) -> Result<Query, String> {
+    let mut vertex = |what: &str| -> Result<VertexId, String> {
+        let w = words.next().ok_or_else(|| format!("missing {what}"))?;
+        let id: u32 = w.parse().map_err(|e| format!("bad {what} {w:?}: {e}"))?;
+        Ok(VertexId::new(id))
+    };
+    Ok(match class {
+        QueryClass::PageRank => Query::PageRank {
+            v: vertex("vertex")?,
+        },
+        QueryClass::Components => Query::Components {
+            v: vertex("vertex")?,
+        },
+        QueryClass::Sssp => Query::Sssp {
+            src: vertex("src")?,
+            dst: vertex("dst")?,
+        },
+        QueryClass::Bfs => Query::Bfs {
+            src: vertex("src")?,
+            dst: vertex("dst")?,
+        },
+        QueryClass::Sswp => Query::Sswp {
+            src: vertex("src")?,
+            dst: vertex("dst")?,
+        },
+    })
+}
+
+fn parse_vertex(word: Option<&str>, client: &ServeClient) -> Result<VertexId, String> {
+    let w = word.ok_or("missing vertex id")?;
+    let id: u32 = w.parse().map_err(|e| format!("bad vertex {w:?}: {e}"))?;
+    if (id as usize) < client.num_vertices() {
+        Ok(VertexId::new(id))
+    } else {
+        Err(format!(
+            "vertex {id} out of range for {} vertices",
+            client.num_vertices()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServeConfig, Server};
+    use gp_graph::generators::{rmat, RmatConfig, WeightMode};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    #[test]
+    fn tcp_round_trip() {
+        let g = rmat(
+            &RmatConfig::graph500(128, 1_024).with_weights(WeightMode::Uniform(1.0, 9.0)),
+            3,
+        );
+        let handle = Server::start(g, ServeConfig::default());
+        let front = TcpFrontEnd::bind("127.0.0.1:0", handle.client(), handle.updater())
+            .expect("bind loopback");
+        let stream = TcpStream::connect(front.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut stream = stream;
+        let mut ask = |line: &str| -> String {
+            writeln!(stream, "{line}").expect("write");
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("read");
+            reply.trim_end().to_string()
+        };
+
+        assert_eq!(ask("EPOCH"), "OK 0");
+        let r = ask("Q default sssp 0 17");
+        assert!(r.starts_with("OK 0 "), "unexpected reply {r:?}");
+        let r = ask("Q default pagerank 5");
+        assert!(r.starts_with("OK 0 "), "unexpected reply {r:?}");
+        let r = ask("Q nobody cc 1");
+        assert!(
+            r.starts_with("ERR unknown-tenant"),
+            "unexpected reply {r:?}"
+        );
+        let r = ask("Q default warp 1");
+        assert!(r.starts_with("ERR unknown class"), "unexpected reply {r:?}");
+        let r = ask("Q default sssp 0 999999");
+        assert!(r.starts_with("ERR bad-query"), "unexpected reply {r:?}");
+        assert_eq!(ask("U insert 0 99 2.5"), "OK update queued");
+        let r = ask("U teleport 1 2");
+        assert!(r.starts_with("ERR usage"), "unexpected reply {r:?}");
+
+        drop(front);
+        let stats = handle.shutdown();
+        assert_eq!(stats.served, 2);
+        assert!(stats.update_batches >= 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Epoch-versioned snapshot store: the read/write decoupling at the heart
+//! of the service.
+//!
+//! Readers [`pin`](SnapshotStore::pin) the current [`Epoch`] — an `Arc` to
+//! an immutable [`GraphSnapshot`] plus the [`AppliedBatch`] delta that
+//! produced it — and compute against it for as long as they like. The
+//! single writer applies update batches to its private [`OverlayGraph`](gp_graph::OverlayGraph)
+//! master copy off the read path, freezes the result (O(patched vertices),
+//! the base CSR is `Arc`-shared), and [`publish`](SnapshotStore::publish)es
+//! the new epoch with one pointer swap. Compaction of the master overlay
+//! also happens off the read path and replaces the base `Arc`, so pinned
+//! snapshots keep reading the base they were frozen against — no epoch
+//! ever mutates after publish.
+//!
+//! A bounded history of recent epochs is retained so offline verification
+//! (the load generator's golden cross-check) can recompute on exactly the
+//! epoch a query was served from.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, RwLock};
+
+use gp_graph::{AppliedBatch, GraphSnapshot};
+
+/// One published, immutable version of the graph.
+#[derive(Debug, Clone)]
+pub struct Epoch {
+    /// Monotonically increasing epoch number; the base graph is epoch 0.
+    pub number: u64,
+    /// The epoch this one was derived from (`number - 1` in the current
+    /// single-writer design; epoch 0 is its own parent).
+    pub parent: u64,
+    /// Immutable adjacency at this epoch.
+    pub graph: GraphSnapshot,
+    /// The net edge diff `parent -> this`, when this epoch was produced by
+    /// one update batch — exactly what
+    /// [`incremental_seeds`](gp_algorithms::incremental_seeds) needs to
+    /// warm-start from parent-epoch state. `None` for epoch 0.
+    pub delta: Option<AppliedBatch>,
+}
+
+/// Atomically publishable store of the current [`Epoch`] plus a bounded
+/// history of recent ones.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    current: RwLock<Arc<Epoch>>,
+    history: Mutex<VecDeque<Arc<Epoch>>>,
+    retain: usize,
+}
+
+impl SnapshotStore {
+    /// Creates the store at epoch 0 with the given base snapshot,
+    /// retaining up to `retain` recent epochs (minimum 1) for
+    /// [`epoch`](SnapshotStore::epoch) lookups.
+    pub fn new(base: GraphSnapshot, retain: usize) -> Self {
+        let epoch0 = Arc::new(Epoch {
+            number: 0,
+            parent: 0,
+            graph: base,
+            delta: None,
+        });
+        let mut history = VecDeque::new();
+        history.push_back(Arc::clone(&epoch0));
+        SnapshotStore {
+            current: RwLock::new(epoch0),
+            history: Mutex::new(history),
+            retain: retain.max(1),
+        }
+    }
+
+    /// Pins the current epoch: a cheap `Arc` clone that stays valid (and
+    /// immutable) forever, however many epochs are published after it.
+    pub fn pin(&self) -> Arc<Epoch> {
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Number of the current epoch.
+    pub fn current_number(&self) -> u64 {
+        self.current.read().expect("snapshot lock poisoned").number
+    }
+
+    /// Publishes the next epoch derived from the current one by `delta`,
+    /// returning its number. Single pointer swap on the read path.
+    pub fn publish(&self, graph: GraphSnapshot, delta: AppliedBatch) -> u64 {
+        let mut cur = self.current.write().expect("snapshot lock poisoned");
+        let next = Arc::new(Epoch {
+            number: cur.number + 1,
+            parent: cur.number,
+            graph,
+            delta: Some(delta),
+        });
+        let mut history = self.history.lock().expect("history lock poisoned");
+        history.push_back(Arc::clone(&next));
+        while history.len() > self.retain {
+            history.pop_front();
+        }
+        let number = next.number;
+        *cur = next;
+        number
+    }
+
+    /// Looks up a recent epoch by number, if still retained.
+    pub fn epoch(&self, number: u64) -> Option<Arc<Epoch>> {
+        let history = self.history.lock().expect("history lock poisoned");
+        history.iter().find(|e| e.number == number).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_graph::generators::{erdos_renyi, WeightMode};
+    use gp_graph::{GraphView, OverlayGraph, VertexId};
+
+    #[test]
+    fn publish_advances_and_history_is_bounded() {
+        let g = erdos_renyi(32, 128, WeightMode::Unweighted, 3);
+        let mut overlay = OverlayGraph::new(g);
+        let store = SnapshotStore::new(overlay.freeze(), 3);
+        assert_eq!(store.current_number(), 0);
+        for i in 0..5u32 {
+            let applied = overlay.apply(&[gp_graph::EdgeUpdate::Insert {
+                src: VertexId::new(i),
+                dst: VertexId::new(31 - i),
+                weight: 1.0,
+            }]);
+            let n = store.publish(overlay.freeze(), applied);
+            assert_eq!(n, u64::from(i) + 1);
+        }
+        assert_eq!(store.current_number(), 5);
+        assert!(store.epoch(5).is_some());
+        assert!(store.epoch(3).is_some());
+        assert!(store.epoch(1).is_none(), "history must be bounded");
+        assert_eq!(store.epoch(4).unwrap().parent, 3);
+    }
+
+    #[test]
+    fn pinned_epoch_outlives_publishes() {
+        let g = erdos_renyi(32, 128, WeightMode::Unweighted, 7);
+        let mut overlay = OverlayGraph::new(g);
+        let store = SnapshotStore::new(overlay.freeze(), 1);
+        let pinned = store.pin();
+        let edges_before = pinned.graph.num_edges();
+        let (s, d) = (0..32u32)
+            .flat_map(|s| (0..32u32).map(move |d| (s, d)))
+            .find(|&(s, d)| s != d && !overlay.contains_edge(VertexId::new(s), VertexId::new(d)))
+            .expect("sparse graph has absent edges");
+        let applied = overlay.apply(&[gp_graph::EdgeUpdate::Insert {
+            src: VertexId::new(s),
+            dst: VertexId::new(d),
+            weight: 1.0,
+        }]);
+        store.publish(overlay.freeze(), applied);
+        assert_eq!(pinned.number, 0);
+        assert_eq!(pinned.graph.num_edges(), edges_before);
+        assert_eq!(store.pin().graph.num_edges(), edges_before + 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! End-to-end service test: concurrent updates and mixed queries, with
+//! every response cross-checked against a golden sequential recompute on
+//! the exact epoch the response names.
+//!
+//! This is the serving contract in miniature: whatever epoch the executor
+//! pinned (current or, under degradation, a stale one), the value it
+//! returns must be the value a from-scratch golden run produces on that
+//! epoch's snapshot — bit-exact for the monotone classes, within the
+//! algorithm's comparison tolerance for PageRank.
+
+use std::time::Duration;
+
+use gp_algorithms::engine::run_sequential;
+use gp_algorithms::{ConnectedComponents, DeltaAlgorithm, PageRankDelta, Sssp, Sswp};
+use gp_graph::generators::{rmat, RmatConfig, WeightMode};
+use gp_graph::{OverlayGraph, VertexId};
+use gp_serve::{Query, Rejection, ServeConfig, Server};
+use gp_stream::UpdateStream;
+
+const VERTICES: usize = 1_024;
+const BATCHES: usize = 20;
+const BATCH_LEN: usize = 32;
+
+#[test]
+fn mixed_queries_match_golden_on_their_named_epoch() {
+    let g = rmat(
+        &RmatConfig::graph500(VERTICES, 8 * VERTICES).with_weights(WeightMode::Uniform(1.0, 9.0)),
+        5,
+    );
+    let shadow_base = g.clone();
+    let config = ServeConfig {
+        retain_epochs: 256, // keep every epoch for the cross-check
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(g, config);
+    let client = handle.client();
+    let updater = handle.updater();
+    let tenant = client.tenant_id("default").expect("default tenant");
+
+    // Updater thread: deterministic batches against a shadow overlay (the
+    // stream needs current topology to generate real deletes).
+    let writer = std::thread::spawn(move || {
+        let mut shadow = OverlayGraph::new(shadow_base);
+        let mut stream = UpdateStream::new(VERTICES, 0.3, WeightMode::Uniform(1.0, 9.0), 77);
+        for _ in 0..BATCHES {
+            let updates = stream.next_batch(&shadow, BATCH_LEN);
+            shadow.apply(&updates);
+            assert!(updater.submit(updates));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+
+    // Client: mixed traffic racing the updater. Sources cycle through a
+    // small hot pool so fused lanes and the path cache both get exercised.
+    let mut answered = Vec::new();
+    for i in 0..240u32 {
+        let src = VertexId::new((i % 7) * 13 % VERTICES as u32);
+        let dst = VertexId::new((i * 37 + 11) % VERTICES as u32);
+        let query = match i % 5 {
+            0 => Query::PageRank { v: dst },
+            1 => Query::Components { v: dst },
+            2 => Query::Sssp { src, dst },
+            3 => Query::Bfs { src, dst },
+            _ => Query::Sswp { src, dst },
+        };
+        let response = client.query(tenant, query).expect("admitted");
+        answered.push((query, response));
+    }
+    writer.join().expect("updater thread");
+
+    // Malformed queries are shed with a typed rejection, not served.
+    let bad = client.query(
+        tenant,
+        Query::PageRank {
+            v: VertexId::new(VERTICES as u32),
+        },
+    );
+    assert!(matches!(bad, Err(Rejection::BadQuery(_))), "{bad:?}");
+
+    // Cross-check every answer on the epoch it names.
+    let pagerank = PageRankDelta::new(0.85, 1e-9);
+    let tolerance = pagerank.comparison_tolerance();
+    let mut degraded_seen = 0u64;
+    for (query, response) in &answered {
+        let epoch = handle
+            .store()
+            .epoch(response.epoch)
+            .expect("every served epoch is retained");
+        assert_eq!(epoch.number, response.epoch);
+        if response.degraded {
+            degraded_seen += 1;
+        }
+        let golden = match *query {
+            Query::PageRank { v } => {
+                let out = run_sequential(&pagerank, &epoch.graph);
+                let diff = (out.values[v.index()] - response.value).abs();
+                assert!(
+                    diff <= tolerance,
+                    "pagerank({v:?}) off by {diff:e} at epoch {}",
+                    response.epoch
+                );
+                continue;
+            }
+            Query::Components { v } => {
+                run_sequential(&ConnectedComponents::new(), &epoch.graph).values[v.index()]
+            }
+            Query::Sssp { src, dst } => {
+                run_sequential(&Sssp::new(src), &epoch.graph).values[dst.index()]
+            }
+            Query::Bfs { src, dst } => {
+                run_sequential(&gp_algorithms::Bfs::new(src), &epoch.graph).values[dst.index()]
+            }
+            Query::Sswp { src, dst } => {
+                run_sequential(&Sswp::new(src), &epoch.graph).values[dst.index()]
+            }
+        };
+        assert_eq!(
+            golden.to_bits(),
+            response.value.to_bits(),
+            "{query:?} at epoch {} (degraded: {})",
+            response.epoch,
+            response.degraded
+        );
+    }
+
+    let late_client = client.clone();
+    let stats = handle.shutdown();
+    assert_eq!(stats.served, 240);
+    assert_eq!(stats.update_batches, BATCHES as u64);
+    assert!(stats.epochs_published >= 1);
+    assert!(stats.fused_runs >= 1, "path fusion never ran");
+    assert_eq!(stats.rejected, 1, "exactly the malformed query");
+    assert_eq!(stats.degraded, degraded_seen);
+
+    // After shutdown the admission queues are closed: typed shed, no hang.
+    let refused = late_client.query(
+        tenant,
+        Query::Components {
+            v: VertexId::new(0),
+        },
+    );
+    assert_eq!(refused, Err(Rejection::ShuttingDown));
+}
+
+#[test]
+fn warm_starts_engage_under_steady_pagerank_traffic() {
+    let g = rmat(
+        &RmatConfig::graph500(512, 4_096).with_weights(WeightMode::Uniform(1.0, 9.0)),
+        9,
+    );
+    let shadow_base = g.clone();
+    let handle = Server::start(g, ServeConfig::default());
+    let client = handle.client();
+    let updater = handle.updater();
+    let tenant = client.tenant_id("default").expect("default tenant");
+
+    let mut shadow = OverlayGraph::new(shadow_base);
+    let mut stream = UpdateStream::new(512, 0.3, WeightMode::Uniform(1.0, 9.0), 13);
+    for i in 0..8u32 {
+        // One batch, then wait until it is applied so the next PageRank
+        // read lands exactly one delta behind its cache — the warm path.
+        let updates = stream.next_batch(&shadow, 16);
+        shadow.apply(&updates);
+        assert!(updater.submit(updates));
+        while updater.lag() > 0 {
+            std::thread::yield_now();
+        }
+        let r = client
+            .query(
+                tenant,
+                Query::PageRank {
+                    v: VertexId::new(i % 512),
+                },
+            )
+            .expect("admitted");
+        assert!(!r.degraded);
+    }
+
+    let stats = handle.shutdown();
+    assert!(
+        stats.warm_starts >= 1,
+        "steady one-delta-behind traffic should warm-start: {stats:?}"
+    );
+}

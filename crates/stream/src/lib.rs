@@ -69,6 +69,12 @@ pub enum Backend {
     /// ([`GraphPulse::run_parallel_seeded`]); results stay bit-identical
     /// across worker counts.
     Parallel(Box<AcceleratorConfig>),
+    /// The speed-first turbo backend in seeded mode
+    /// ([`gp_turbo::run_turbo_seeded`]) — the only engine fast enough to
+    /// sit behind interactive traffic, which is what `gp-serve` does.
+    /// Bit-exact vs [`Backend::Golden`] for the monotone algorithms,
+    /// within `comparison_tolerance` for PageRank-delta.
+    Turbo(gp_turbo::TurboConfig),
 }
 
 /// Configuration of an [`IncrementalEngine`].
@@ -229,6 +235,17 @@ impl<A: IncrementalAlgorithm> IncrementalEngine<A> {
                 report.events_generated = out.report.events_generated;
                 report.cycles = out.report.cycles;
             }
+            Backend::Turbo(cfg) => {
+                let out = gp_turbo::run_turbo_seeded(
+                    &self.algo,
+                    &self.graph,
+                    &mut self.values,
+                    seeds,
+                    cfg,
+                );
+                report.events_processed = out.events_processed;
+                report.events_generated = out.events_generated;
+            }
         }
         Ok(report)
     }
@@ -382,7 +399,7 @@ impl UpdateStream {
 mod tests {
     use super::*;
     use gp_algorithms::engine::run_sequential;
-    use gp_algorithms::{max_abs_diff, ConnectedComponents, PageRankDelta, Sssp};
+    use gp_algorithms::{max_abs_diff, ConnectedComponents, DeltaAlgorithm, PageRankDelta, Sssp};
     use gp_graph::generators::{erdos_renyi, rmat, RmatConfig};
 
     #[test]
@@ -409,6 +426,58 @@ mod tests {
             engine.apply_batch(&batch).expect("golden");
             let scratch = run_sequential(engine.algo(), &engine.graph().to_csr());
             assert_eq!(max_abs_diff(&engine.values(), &scratch.values), 0.0);
+        }
+    }
+
+    /// Incremental-via-turbo must agree with incremental-via-golden batch
+    /// by batch: bit-exact for the monotone algorithms (satellite of the
+    /// `run_turbo_seeded` warm-start entry point).
+    #[test]
+    fn turbo_backend_matches_golden_incremental_bit_exact() {
+        fn run_pair<A: IncrementalAlgorithm + Clone>(algo: A, seed: u64) {
+            let g = rmat(&RmatConfig::graph500(128, 1_024), seed);
+            let turbo_cfg = StreamConfig {
+                backend: Backend::Turbo(gp_turbo::TurboConfig::default()),
+                compact_fraction: 0.5,
+            };
+            let (mut via_turbo, _) =
+                IncrementalEngine::new(algo.clone(), g.clone(), turbo_cfg).expect("turbo");
+            let (mut via_golden, _) =
+                IncrementalEngine::new(algo, g, StreamConfig::golden(0.5)).expect("golden");
+            let mut stream = UpdateStream::new(128, 0.3, WeightMode::Uniform(1.0, 9.0), seed + 1);
+            for _ in 0..4 {
+                let batch = stream.next_batch(via_turbo.graph(), 24);
+                via_turbo.apply_batch(&batch).expect("turbo");
+                via_golden.apply_batch(&batch).expect("golden");
+                let t: Vec<u64> = via_turbo.values().iter().map(|v| v.to_bits()).collect();
+                let g: Vec<u64> = via_golden.values().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(t, g, "turbo incremental diverged from golden");
+            }
+        }
+        run_pair(Sssp::new(VertexId::new(0)), 31);
+        run_pair(gp_algorithms::Bfs::new(VertexId::new(0)), 32);
+        run_pair(ConnectedComponents::new(), 33);
+        run_pair(gp_algorithms::Sswp::new(VertexId::new(0)), 34);
+    }
+
+    /// PageRank-delta through the turbo backend stays within the
+    /// algorithm's documented event-order tolerance of a from-scratch run.
+    #[test]
+    fn turbo_backend_tracks_pagerank_within_tolerance() {
+        let g = rmat(&RmatConfig::graph500(128, 1_024), 41);
+        let algo = PageRankDelta::new(0.85, 1e-9);
+        let tol = algo.comparison_tolerance();
+        let cfg = StreamConfig {
+            backend: Backend::Turbo(gp_turbo::TurboConfig::default()),
+            compact_fraction: 0.5,
+        };
+        let (mut engine, _) = IncrementalEngine::new(algo, g, cfg).expect("turbo");
+        let mut stream = UpdateStream::new(128, 0.3, WeightMode::Unweighted, 42);
+        for _ in 0..4 {
+            let batch = stream.next_batch(engine.graph(), 24);
+            engine.apply_batch(&batch).expect("turbo");
+            let scratch = run_sequential(engine.algo(), &engine.graph().to_csr());
+            assert!(max_abs_diff(&engine.values(), &scratch.values) < tol);
         }
     }
 

@@ -53,4 +53,4 @@
 mod engine;
 pub mod priority;
 
-pub use engine::{run_turbo, RoundStat, StaleFault, TurboConfig, TurboOutcome};
+pub use engine::{run_turbo, run_turbo_seeded, RoundStat, StaleFault, TurboConfig, TurboOutcome};

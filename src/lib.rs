@@ -11,6 +11,7 @@ pub use gp_algorithms as algorithms;
 pub use gp_baselines as baselines;
 pub use gp_graph as graph;
 pub use gp_mem as mem;
+pub use gp_serve as serve;
 pub use gp_sim as sim;
 pub use gp_stream as stream;
 pub use gp_turbo as turbo;
