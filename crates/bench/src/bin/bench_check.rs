@@ -10,10 +10,10 @@
 //! keys, positive throughput on both backends), `gp-bench/chaos/v1`
 //! documents through `gp_bench::json::validate_chaos` (every scenario
 //! detected and recovered, overhead baselines bit-exact, summary present),
-//! and `gp-bench/serve/v1` documents through `gp_bench::json::validate_serve`
-//! (ordered per-class latency quantiles, golden cross-checks ran and
-//! passed). CI runs this so the bench binaries can never silently stop
-//! emitting measurements.
+//! and `gp-bench/serve/v2` documents through `gp_bench::json::validate_serve`
+//! (non-empty executor sweep, ordered per-class latency quantiles per run,
+//! golden cross-checks ran and passed). CI runs this so the bench binaries
+//! can never silently stop emitting measurements.
 //!
 //! Exit status: 0 when every file passes, 1 when a file fails its schema's
 //! validation, 2 on a bad invocation or an unknown schema tag (the
@@ -28,7 +28,7 @@ const USAGE: &str = "\
 Usage: bench_check <BENCH_*.json> [more.json ...]
 
 Validates machine-readable bench output against its embedded schema tag.
-Known schemas: gp-bench/end_to_end/v1, gp-bench/chaos/v1, gp-bench/serve/v1.
+Known schemas: gp-bench/end_to_end/v1, gp-bench/chaos/v1, gp-bench/serve/v2.
 
 Exit status: 0 when every file passes, 1 on a validation failure, 2 on a
 bad invocation or an unknown schema tag.";
@@ -64,7 +64,7 @@ fn check(path: &str) -> Result<(), CheckError> {
     let (validate, count_key): (Validator, &str) = match schema {
         END_TO_END_SCHEMA => (validate_end_to_end, "entries"),
         CHAOS_SCHEMA => (validate_chaos, "scenarios"),
-        SERVE_SCHEMA => (validate_serve, "classes"),
+        SERVE_SCHEMA => (validate_serve, "runs"),
         other => {
             return Err(CheckError::unusable(format!(
                 "`{path}` has unknown schema {other:?} \

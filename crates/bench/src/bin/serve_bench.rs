@@ -10,9 +10,17 @@
 //! while an updater thread races edge-update batches through the writer so
 //! epochs advance mid-run. Latency is measured per query at the client and
 //! reported as p50/p99/p999 per class in `BENCH_serve.json`
-//! (`gp-bench/serve/v1`, checked by `bench_check`).
+//! (`gp-bench/serve/v2`, checked by `bench_check`).
 //!
-//! A deterministic slice of the responses is cross-checked after the run
+//! `--executors` takes a comma-separated list of executor-pool sizes and
+//! runs the identical workload once per size (a fresh server each time,
+//! same seeds, same traffic), recording one sweep entry per run —
+//! throughput scaling across pool sizes lands in a single document.
+//! `--turbo-shards` sets the engine shard count every turbo run uses;
+//! sharded runs are bit-identical to single-shard runs, so the golden
+//! cross-checks are unaffected.
+//!
+//! A deterministic slice of the responses is cross-checked after each run
 //! against golden sequential recomputes on the *exact epoch each response
 //! named* (the store retains every epoch the run publishes): bit-exact for
 //! the monotone classes (SSSP/BFS/SSWP/CC), within the algorithm's
@@ -32,7 +40,7 @@ use gp_bench::json::{Json, SERVE_SCHEMA};
 use gp_bench::{cli, write_output};
 use gp_graph::generators::{rmat, RmatConfig, WeightMode};
 use gp_graph::rng::{Rng, StdRng};
-use gp_graph::{OverlayGraph, VertexId};
+use gp_graph::{CsrGraph, OverlayGraph, VertexId};
 use gp_serve::{Query, QueryClass, QueryResponse, ServeConfig, Server};
 use gp_stream::UpdateStream;
 
@@ -46,6 +54,11 @@ Usage: serve_bench [flags]
   --batches B      edge-update batches raced against the queries (default 32)
   --batch-size U   edge updates per batch (default 96)
   --hot-sources H  size of the skewed path-source pool (default 16)
+  --executors E    comma-separated executor-pool sizes; the identical
+                   workload runs once per size and each run is one sweep
+                   entry in the output (default 1)
+  --turbo-shards S engine shards for every turbo run; bit-identical to
+                   single-shard execution (default 1)
   --sample-every K sample every K-th query per client for the golden
                    cross-check (default 512)
   --verify-all     cross-check every sampled response (no golden-run
@@ -66,9 +79,26 @@ struct Args {
     batches: usize,
     batch_size: usize,
     hot_sources: usize,
+    executors: Vec<usize>,
+    turbo_shards: usize,
     sample_every: usize,
     verify_all: bool,
     out: std::path::PathBuf,
+}
+
+fn parse_executor_list(raw: &str) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    for part in raw.split(',') {
+        let n: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("--executors expects positive integers, got {part:?}"))?;
+        if n == 0 {
+            return Err("--executors counts must be positive".into());
+        }
+        out.push(n);
+    }
+    Ok(out)
 }
 
 fn parse(args: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
@@ -81,6 +111,8 @@ fn parse(args: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
         batches: 32,
         batch_size: 96,
         hot_sources: 16,
+        executors: vec![1],
+        turbo_shards: 1,
         sample_every: 512,
         verify_all: false,
         out: "BENCH_serve.json".into(),
@@ -96,6 +128,8 @@ fn parse(args: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
             "--batches" => parsed.batches = args.parsed(&flag, "an integer")?,
             "--batch-size" => parsed.batch_size = args.parsed(&flag, "an integer")?,
             "--hot-sources" => parsed.hot_sources = args.parsed(&flag, "an integer")?,
+            "--executors" => parsed.executors = parse_executor_list(&args.value(&flag)?)?,
+            "--turbo-shards" => parsed.turbo_shards = args.parsed(&flag, "an integer")?,
             "--sample-every" => parsed.sample_every = args.parsed(&flag, "an integer")?,
             "--verify-all" => parsed.verify_all = true,
             "--out" => parsed.out = args.value(&flag)?.into(),
@@ -110,6 +144,12 @@ fn parse(args: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
     }
     if parsed.clients == 0 || parsed.tenants == 0 || parsed.queries == 0 {
         return Err("--clients, --tenants, and --queries must be positive".into());
+    }
+    if parsed.turbo_shards == 0 {
+        return Err("--turbo-shards must be positive".into());
+    }
+    if parsed.executors.is_empty() {
+        return Err("--executors needs at least one pool size".into());
     }
     parsed.hot_sources = parsed.hot_sources.clamp(1, parsed.vertices);
     parsed.sample_every = parsed.sample_every.max(1);
@@ -230,27 +270,22 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// Runs the full workload against a fresh server with `executors`
+/// executor threads and returns the sweep entry plus the cross-check
+/// failure count.
 #[allow(clippy::too_many_lines)]
-fn main() {
-    let args = cli::finish(parse(std::env::args().skip(1)), USAGE);
-
+fn run_sweep_entry(args: &Args, graph: &CsrGraph, executors: usize) -> (Json, u64) {
     println!(
-        "serve_bench: 2^{:.0} vertices, {} queries on {} client(s), {} update batch(es)",
-        (args.vertices as f64).log2(),
-        args.queries,
-        args.clients,
-        args.batches
+        "serve_bench: {} executor(s), {} turbo shard(s), {} queries on {} client(s), \
+         {} update batch(es)",
+        executors, args.turbo_shards, args.queries, args.clients, args.batches
     );
-    let graph = rmat(
-        &RmatConfig::graph500(args.vertices, 4 * args.vertices)
-            .with_weights(WeightMode::Uniform(1.0, 10.0)),
-        args.seed,
-    );
-    let base_edges = graph.num_edges();
     let shadow_base = graph.clone();
 
     let config = ServeConfig {
         tenants: (0..args.tenants).map(|i| format!("t{i}")).collect(),
+        executors,
+        turbo_shards: args.turbo_shards,
         // Retain every epoch this run can publish so the cross-check can
         // recompute on exactly the epoch each response names.
         retain_epochs: args.batches + 2,
@@ -260,7 +295,7 @@ fn main() {
         ..ServeConfig::default()
     };
     let pagerank = PageRankDelta::new(config.pagerank_damping, config.pagerank_threshold);
-    let handle = Server::start(graph, config);
+    let handle = Server::start(graph.clone(), config);
 
     // Skewed hot-source pool shared by every client: repeated sources hit
     // the per-epoch path cache; distinct ones fuse into shared traversals.
@@ -371,8 +406,13 @@ fn main() {
     let throughput = stats.served as f64 / wall_secs.max(1e-12);
     println!(
         "{} queries in {wall_secs:.2}s = {throughput:.0} q/s \
-         ({} epochs published, {} warm starts, {} fused runs, {} degraded)",
-        stats.served, stats.epochs_published, stats.warm_starts, stats.fused_runs, stats.degraded
+         ({} epochs published, {} warm starts, {} fused runs, {} path warm starts, {} degraded)",
+        stats.served,
+        stats.epochs_published,
+        stats.warm_starts,
+        stats.fused_runs,
+        stats.path_warm_starts,
+        stats.degraded
     );
     println!("cross-checked {verified} sampled response(s), {failures} mismatch(es)");
 
@@ -405,13 +445,8 @@ fn main() {
         ]));
     }
 
-    let doc = Json::obj([
-        ("schema", Json::Str(SERVE_SCHEMA.into())),
-        ("seed", Json::Num(args.seed as f64)),
-        ("vertices", Json::Num(args.vertices as f64)),
-        ("edges", Json::Num(base_edges as f64)),
-        ("tenants", Json::Num(args.tenants as f64)),
-        ("clients", Json::Num(args.clients as f64)),
+    let entry = Json::obj([
+        ("executors", Json::Num(executors as f64)),
         ("queries_total", Json::Num(stats.served as f64)),
         ("wall_secs", Json::Num(wall_secs)),
         ("throughput_qps", Json::Num(throughput)),
@@ -423,16 +458,53 @@ fn main() {
         ("cold_runs", Json::Num(stats.cold_runs as f64)),
         ("fused_runs", Json::Num(stats.fused_runs as f64)),
         ("path_cache_hits", Json::Num(stats.path_cache_hits as f64)),
+        ("path_warm_starts", Json::Num(stats.path_warm_starts as f64)),
         ("verified_samples", Json::Num(verified as f64)),
         ("verify_failures", Json::Num(failures as f64)),
         ("classes", Json::Arr(classes)),
+    ]);
+    (entry, failures)
+}
+
+fn main() {
+    let args = cli::finish(parse(std::env::args().skip(1)), USAGE);
+
+    println!(
+        "serve_bench: 2^{:.0} vertices, executor sweep {:?}",
+        (args.vertices as f64).log2(),
+        args.executors
+    );
+    let graph = rmat(
+        &RmatConfig::graph500(args.vertices, 4 * args.vertices)
+            .with_weights(WeightMode::Uniform(1.0, 10.0)),
+        args.seed,
+    );
+    let base_edges = graph.num_edges();
+
+    let mut entries = Vec::new();
+    let mut total_failures = 0u64;
+    for &executors in &args.executors {
+        let (entry, failures) = run_sweep_entry(&args, &graph, executors);
+        entries.push(entry);
+        total_failures += failures;
+    }
+
+    let doc = Json::obj([
+        ("schema", Json::Str(SERVE_SCHEMA.into())),
+        ("seed", Json::Num(args.seed as f64)),
+        ("vertices", Json::Num(args.vertices as f64)),
+        ("edges", Json::Num(base_edges as f64)),
+        ("tenants", Json::Num(args.tenants as f64)),
+        ("clients", Json::Num(args.clients as f64)),
+        ("turbo_shards", Json::Num(args.turbo_shards as f64)),
+        ("runs", Json::Arr(entries)),
     ]);
     if let Err(e) = write_output(&args.out, &doc.render()) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
     println!("wrote {}", args.out.display());
-    if failures > 0 {
+    if total_failures > 0 {
         std::process::exit(1);
     }
 }

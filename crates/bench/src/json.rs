@@ -397,14 +397,16 @@ pub const END_TO_END_SCHEMA: &str = "gp-bench/end_to_end/v1";
 pub const CHAOS_SCHEMA: &str = "gp-bench/chaos/v1";
 
 /// Schema tag `validate_serve` requires.
-pub const SERVE_SCHEMA: &str = "gp-bench/serve/v1";
+pub const SERVE_SCHEMA: &str = "gp-bench/serve/v2";
 
-/// Validates a `BENCH_serve.json` document: schema tag, positive graph
-/// and traffic totals, a non-empty per-class latency table with ordered
-/// p50 ≤ p99 ≤ p999 quantiles that accounts for every served query, and
-/// the golden cross-check record (some samples verified, zero failures —
-/// a serve bench that stopped checking its answers, or whose answers
-/// diverged from the golden recompute, fails here).
+/// Validates a `BENCH_serve.json` document: schema tag, positive graph,
+/// traffic, and `turbo_shards` fields, and a non-empty `runs` sweep (one
+/// entry per executor count). Each run must carry a positive `executors`
+/// count, positive traffic totals, a non-empty per-class latency table
+/// with ordered p50 ≤ p99 ≤ p999 quantiles that accounts for every served
+/// query, and the golden cross-check record (some samples verified, zero
+/// failures — a serve bench that stopped checking its answers, or whose
+/// answers diverged from the golden recompute, fails here).
 ///
 /// # Errors
 ///
@@ -420,16 +422,32 @@ pub fn validate_serve(doc: &Json) -> Result<(), String> {
     doc.get("seed")
         .and_then(Json::as_f64)
         .ok_or("missing numeric key \"seed\"")?;
-    for key in [
-        "vertices",
-        "edges",
-        "tenants",
-        "clients",
-        "queries_total",
-        "wall_secs",
-        "throughput_qps",
-    ] {
+    for key in ["vertices", "edges", "tenants", "clients", "turbo_shards"] {
         let v = doc
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric key {key:?}"))?;
+        if v <= 0.0 {
+            return Err(format!("{key} must be positive, got {v}"));
+        }
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("missing array key \"runs\"")?;
+    if runs.is_empty() {
+        return Err("\"runs\" is empty — the sweep ran no executor configuration".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        validate_serve_run(run).map_err(|e| format!("run {i}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Validates one executor-sweep entry of a serve document.
+fn validate_serve_run(run: &Json) -> Result<(), String> {
+    for key in ["executors", "queries_total", "wall_secs", "throughput_qps"] {
+        let v = run
             .get(key)
             .and_then(Json::as_f64)
             .ok_or_else(|| format!("missing numeric key {key:?}"))?;
@@ -446,10 +464,11 @@ pub fn validate_serve(doc: &Json) -> Result<(), String> {
         "cold_runs",
         "fused_runs",
         "path_cache_hits",
+        "path_warm_starts",
         "verified_samples",
         "verify_failures",
     ] {
-        let v = doc
+        let v = run
             .get(key)
             .and_then(Json::as_f64)
             .ok_or_else(|| format!("missing numeric key {key:?}"))?;
@@ -457,14 +476,14 @@ pub fn validate_serve(doc: &Json) -> Result<(), String> {
             return Err(format!("{key} must be >= 0, got {v}"));
         }
     }
-    let verified = doc
+    let verified = run
         .get("verified_samples")
         .and_then(Json::as_f64)
         .unwrap_or(0.0);
     if verified < 1.0 {
         return Err("verified_samples is 0 — no golden cross-checks ran".into());
     }
-    let failures = doc
+    let failures = run
         .get("verify_failures")
         .and_then(Json::as_f64)
         .unwrap_or(0.0);
@@ -474,7 +493,7 @@ pub fn validate_serve(doc: &Json) -> Result<(), String> {
         ));
     }
 
-    let classes = doc
+    let classes = run
         .get("classes")
         .and_then(Json::as_arr)
         .ok_or("missing array key \"classes\"")?;
@@ -514,7 +533,7 @@ pub fn validate_serve(doc: &Json) -> Result<(), String> {
             )));
         }
     }
-    let total = doc
+    let total = run
         .get("queries_total")
         .and_then(Json::as_f64)
         .unwrap_or(0.0);
@@ -839,14 +858,9 @@ mod tests {
         ])
     }
 
-    fn sample_serve_doc() -> Json {
+    fn sample_serve_run(executors: f64) -> Json {
         Json::obj([
-            ("schema", Json::Str(SERVE_SCHEMA.into())),
-            ("seed", Json::Num(42.0)),
-            ("vertices", Json::Num(65536.0)),
-            ("edges", Json::Num(262144.0)),
-            ("tenants", Json::Num(2.0)),
-            ("clients", Json::Num(4.0)),
+            ("executors", Json::Num(executors)),
             ("queries_total", Json::Num(1000.0)),
             ("wall_secs", Json::Num(1.5)),
             ("throughput_qps", Json::Num(666.0)),
@@ -858,6 +872,7 @@ mod tests {
             ("cold_runs", Json::Num(2.0)),
             ("fused_runs", Json::Num(20.0)),
             ("path_cache_hits", Json::Num(500.0)),
+            ("path_warm_starts", Json::Num(12.0)),
             ("verified_samples", Json::Num(64.0)),
             ("verify_failures", Json::Num(0.0)),
             (
@@ -870,12 +885,51 @@ mod tests {
         ])
     }
 
+    fn sample_serve_doc() -> Json {
+        Json::obj([
+            ("schema", Json::Str(SERVE_SCHEMA.into())),
+            ("seed", Json::Num(42.0)),
+            ("vertices", Json::Num(65536.0)),
+            ("edges", Json::Num(262144.0)),
+            ("tenants", Json::Num(2.0)),
+            ("clients", Json::Num(4.0)),
+            ("turbo_shards", Json::Num(2.0)),
+            (
+                "runs",
+                Json::Arr(vec![sample_serve_run(1.0), sample_serve_run(4.0)]),
+            ),
+        ])
+    }
+
     /// Replaces one top-level numeric key in a serve doc.
     fn with_serve_field(mut doc: Json, key: &str, value: Json) -> Json {
         if let Json::Obj(pairs) = &mut doc {
             for (k, v) in pairs.iter_mut() {
                 if k == key {
                     *v = value.clone();
+                }
+            }
+        }
+        doc
+    }
+
+    /// Replaces one key in every run of a serve doc's sweep.
+    fn with_run_field(mut doc: Json, key: &str, value: Json) -> Json {
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k != "runs" {
+                    continue;
+                }
+                if let Json::Arr(runs) = v {
+                    for run in runs.iter_mut() {
+                        if let Json::Obj(fields) = run {
+                            for (rk, rv) in fields.iter_mut() {
+                                if rk == key {
+                                    *rv = value.clone();
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -899,13 +953,37 @@ mod tests {
 
         let err = validate_serve(&with_serve_field(
             sample_serve_doc(),
+            "turbo_shards",
+            Json::Num(0.0),
+        ))
+        .unwrap_err();
+        assert!(err.contains("turbo_shards must be positive"), "{err}");
+
+        let err = validate_serve(&with_serve_field(
+            sample_serve_doc(),
+            "runs",
+            Json::Arr(vec![]),
+        ))
+        .unwrap_err();
+        assert!(err.contains("\"runs\" is empty"), "{err}");
+
+        let err = validate_serve(&with_run_field(
+            sample_serve_doc(),
+            "executors",
+            Json::Num(0.0),
+        ))
+        .unwrap_err();
+        assert!(err.contains("executors must be positive"), "{err}");
+
+        let err = validate_serve(&with_run_field(
+            sample_serve_doc(),
             "verified_samples",
             Json::Num(0.0),
         ))
         .unwrap_err();
         assert!(err.contains("no golden cross-checks ran"), "{err}");
 
-        let err = validate_serve(&with_serve_field(
+        let err = validate_serve(&with_run_field(
             sample_serve_doc(),
             "verify_failures",
             Json::Num(2.0),
@@ -913,7 +991,7 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("diverged from the golden recompute"), "{err}");
 
-        let err = validate_serve(&with_serve_field(
+        let err = validate_serve(&with_run_field(
             sample_serve_doc(),
             "throughput_qps",
             Json::Num(0.0),
@@ -921,7 +999,7 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("throughput_qps must be positive"), "{err}");
 
-        let err = validate_serve(&with_serve_field(
+        let err = validate_serve(&with_run_field(
             sample_serve_doc(),
             "classes",
             Json::Arr(vec![]),
@@ -929,8 +1007,27 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("empty"), "{err}");
 
+        // A missing run-level counter is named, with the run index.
+        let mut doc = sample_serve_doc();
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "runs" {
+                    if let Json::Arr(runs) = v {
+                        if let Json::Obj(fields) = &mut runs[1] {
+                            fields.retain(|(rk, _)| rk != "path_warm_starts");
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate_serve(&doc).unwrap_err();
+        assert!(
+            err.contains("run 1") && err.contains("path_warm_starts"),
+            "{err}"
+        );
+
         // Served totals must reconcile with queries_total.
-        let err = validate_serve(&with_serve_field(
+        let err = validate_serve(&with_run_field(
             sample_serve_doc(),
             "classes",
             Json::Arr(vec![sample_serve_class("pagerank", 999.0)]),
@@ -947,7 +1044,7 @@ mod tests {
                 }
             }
         }
-        let err = validate_serve(&with_serve_field(
+        let err = validate_serve(&with_run_field(
             sample_serve_doc(),
             "classes",
             Json::Arr(vec![class]),
@@ -960,7 +1057,7 @@ mod tests {
         if let Json::Obj(pairs) = &mut class {
             pairs.retain(|(k, _)| k != "p999_us");
         }
-        let err = validate_serve(&with_serve_field(
+        let err = validate_serve(&with_run_field(
             sample_serve_doc(),
             "classes",
             Json::Arr(vec![class]),

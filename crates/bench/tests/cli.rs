@@ -82,13 +82,15 @@ fn temp_path(name: &str) -> std::path::PathBuf {
 
 /// A hand-written document that satisfies every `validate_serve` rule;
 /// the malformed variants below each break exactly one of them.
-const VALID_SERVE_DOC: &str = r#"{"schema":"gp-bench/serve/v1","seed":1,"vertices":64,
-"edges":256,"tenants":1,"clients":1,"queries_total":10,"wall_secs":0.1,
+const VALID_SERVE_DOC: &str = r#"{"schema":"gp-bench/serve/v2","seed":1,"vertices":64,
+"edges":256,"tenants":1,"clients":1,"turbo_shards":2,
+"runs":[{"executors":2,"queries_total":10,"wall_secs":0.1,
 "throughput_qps":100,"rejected":0,"degraded":0,"epochs_published":1,
 "update_batches":1,"warm_starts":0,"cold_runs":1,"fused_runs":1,
-"path_cache_hits":0,"verified_samples":2,"verify_failures":0,
+"path_cache_hits":0,"path_warm_starts":0,"verified_samples":2,
+"verify_failures":0,
 "classes":[{"class":"pagerank","served":10,"mean_us":5,"p50_us":4,
-"p99_us":9,"p999_us":9,"max_us":9}]}"#;
+"p99_us":9,"p999_us":9,"max_us":9}]}]}"#;
 
 #[test]
 fn serve_bench_tiny_run_emits_output_bench_check_accepts() {
@@ -110,6 +112,10 @@ fn serve_bench_tiny_run_emits_output_bench_check_accepts() {
             "8",
             "--sample-every",
             "16",
+            "--executors",
+            "1,2",
+            "--turbo-shards",
+            "2",
             "--verify-all",
             "--out",
             out_path.to_str().unwrap(),
@@ -122,6 +128,10 @@ fn serve_bench_tiny_run_emits_output_bench_check_accepts() {
         String::from_utf8_lossy(&out.stderr)
     );
     assert!(stdout.contains("0 mismatch(es)"), "{stdout}");
+    assert!(
+        stdout.contains("2 executor(s)"),
+        "sweep must reach the second pool size:\n{stdout}"
+    );
     let check = run(
         env!("CARGO_BIN_EXE_bench_check"),
         &[out_path.to_str().unwrap()],
@@ -140,10 +150,43 @@ fn serve_bench_help_exits_0_and_bad_flag_exits_2() {
     assert!(help.status.success());
     let stdout = String::from_utf8_lossy(&help.stdout);
     assert!(stdout.contains("--verify-all"), "{stdout}");
+    assert!(stdout.contains("--executors"), "{stdout}");
+    assert!(stdout.contains("--turbo-shards"), "{stdout}");
 
     let bad = run(env!("CARGO_BIN_EXE_serve_bench"), &["--wat"]);
     assert_eq!(bad.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn serve_bench_rejects_bad_executor_and_shard_flags_with_usage() {
+    // Zero anywhere in the sweep list, a non-numeric entry, and a zero
+    // shard count are all bad invocations: exit 2 and print the usage.
+    for args in [
+        ["--executors", "0"],
+        ["--executors", "1,0,4"],
+        ["--executors", "two"],
+        ["--executors", ""],
+        ["--turbo-shards", "0"],
+        ["--turbo-shards", "many"],
+    ] {
+        let out = run(env!("CARGO_BIN_EXE_serve_bench"), &args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2, stderr:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("Usage: serve_bench"),
+            "{args:?} must print usage:\n{stderr}"
+        );
+        assert!(
+            stderr.contains(args[0]),
+            "{args:?} diagnostic must name the flag:\n{stderr}"
+        );
+    }
 }
 
 #[test]
@@ -156,7 +199,7 @@ fn bench_check_unknown_schema_exits_2_naming_known_tags() {
     for tag in [
         "gp-bench/end_to_end/v1",
         "gp-bench/chaos/v1",
-        "gp-bench/serve/v1",
+        "gp-bench/serve/v2",
     ] {
         assert!(stderr.contains(tag), "must name known tag {tag}:\n{stderr}");
     }

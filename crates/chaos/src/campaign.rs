@@ -412,18 +412,14 @@ fn algo_scenarios<A>(
 fn find_orphaning_fault<A, G>(algo: &A, graph: &G, tcfg: &TurboConfig) -> Option<StaleFault>
 where
     A: DeltaAlgorithm,
-    G: gp_graph::GraphView,
+    G: gp_graph::GraphView + Sync,
 {
     let clean_rounds = run_turbo(algo, graph, tcfg).rounds;
-    let mut rounds: Vec<u64> = [
-        clean_rounds.saturating_sub(2),
-        clean_rounds.saturating_sub(4),
-        clean_rounds / 2,
-        2,
-    ]
-    .iter()
-    .map(|&r| r.max(1))
-    .collect();
+    let mut rounds: Vec<u64> = (1..=12)
+        .map(|back| clean_rounds.saturating_sub(back))
+        .chain([clean_rounds / 2, clean_rounds / 4, 2])
+        .map(|r| r.max(1))
+        .collect();
     rounds.dedup();
     for after_rounds in rounds {
         for pick in 0..16u64 {

@@ -42,7 +42,7 @@ pub struct GuardedOutcome {
 /// check discards the attempt and retries (the fault re-fires while it
 /// has firings left). After `max_retries` failed attempts the run
 /// degrades to [`run_sequential`].
-pub fn run_turbo_guarded<A: DeltaAlgorithm, G: GraphView>(
+pub fn run_turbo_guarded<A: DeltaAlgorithm, G: GraphView + Sync>(
     algo: &A,
     graph: &G,
     cfg: &TurboConfig,

@@ -1,16 +1,21 @@
-//! Admission control: bounded per-tenant queues with typed load-shedding.
+//! Admission control: bounded per-tenant queues with typed load-shedding,
+//! fanned out across executor lanes.
 //!
 //! Every query enters through [`AdmissionQueues::submit`], which enforces
 //! three limits *before* any work is queued: the tenant must exist, the
-//! tenant's own queue must have room (one tenant flooding the service
-//! cannot starve the others — its surplus is shed, not theirs), and the
-//! global backlog across all tenants must be under the overload ceiling.
-//! Shedding is a typed [`Rejection`] returned to the caller immediately —
-//! never a silent drop, never an unbounded queue.
+//! tenant's own backlog (summed across lanes) must have room (one tenant
+//! flooding the service cannot starve the others — its surplus is shed,
+//! not theirs), and the global backlog across all tenants must be under
+//! the overload ceiling. Shedding is a typed [`Rejection`] returned to the
+//! caller immediately — never a silent drop, never an unbounded queue.
 //!
-//! The executor drains admitted requests round-robin across tenants (one
-//! slice per tenant per sweep), which keeps tail latency fair under
-//! asymmetric offered load.
+//! The queues are partitioned into *lanes*, one per executor thread. The
+//! client routes each query to a lane by `(class, source)` hash, so one
+//! lane owns all queries for a given path source and its per-source cache
+//! stays thread-local. Each lane drains its own requests round-robin
+//! across tenants (one slice per tenant per sweep), which keeps tail
+//! latency fair under asymmetric offered load; each lane has its own
+//! condvar so an idle executor sleeps until *its* lane has work.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -51,39 +56,64 @@ impl fmt::Display for Rejection {
 }
 
 struct Queues<T> {
-    per_tenant: Vec<VecDeque<T>>,
+    /// `per_lane[lane][tenant]` — each lane has its own per-tenant queues.
+    per_lane: Vec<Vec<VecDeque<T>>>,
+    /// Backlog per lane (what an idle lane executor waits on).
+    lane_totals: Vec<usize>,
+    /// Backlog per tenant across lanes (what the per-tenant bound checks).
+    tenant_totals: Vec<usize>,
     total: usize,
-    /// Round-robin cursor: which tenant the next drain sweep starts at.
-    cursor: usize,
+    /// Per-lane round-robin cursors: which tenant each lane's next drain
+    /// sweep starts at.
+    cursors: Vec<usize>,
     closed: bool,
 }
 
-/// Bounded per-tenant admission queues with a condvar-signalled drain side.
+/// Bounded per-tenant admission queues, partitioned into per-executor
+/// lanes, with a condvar-signalled drain side per lane.
 pub struct AdmissionQueues<T> {
     tenants: Vec<String>,
     queue_capacity: usize,
     global_capacity: usize,
     state: Mutex<Queues<T>>,
-    ready: Condvar,
+    /// One condvar per lane, all paired with the single `state` mutex.
+    ready: Vec<Condvar>,
 }
 
 impl<T> AdmissionQueues<T> {
-    /// Creates one bounded queue per tenant. `queue_capacity` bounds each
-    /// tenant's backlog; `global_capacity` bounds the sum.
-    pub fn new(tenants: Vec<String>, queue_capacity: usize, global_capacity: usize) -> Self {
+    /// Creates one bounded queue per tenant per lane. `queue_capacity`
+    /// bounds each tenant's backlog summed across lanes; `global_capacity`
+    /// bounds the sum over everything; `lanes` (min 1) is the executor
+    /// fan-out.
+    pub fn new(
+        tenants: Vec<String>,
+        queue_capacity: usize,
+        global_capacity: usize,
+        lanes: usize,
+    ) -> Self {
         let n = tenants.len();
+        let lanes = lanes.max(1);
         AdmissionQueues {
             tenants,
             queue_capacity: queue_capacity.max(1),
             global_capacity: global_capacity.max(1),
             state: Mutex::new(Queues {
-                per_tenant: (0..n).map(|_| VecDeque::new()).collect(),
+                per_lane: (0..lanes)
+                    .map(|_| (0..n).map(|_| VecDeque::new()).collect())
+                    .collect(),
+                lane_totals: vec![0; lanes],
+                tenant_totals: vec![0; n],
                 total: 0,
-                cursor: 0,
+                cursors: vec![0; lanes],
                 closed: false,
             }),
-            ready: Condvar::new(),
+            ready: (0..lanes).map(|_| Condvar::new()).collect(),
         }
+    }
+
+    /// Number of executor lanes.
+    pub fn lanes(&self) -> usize {
+        self.ready.len()
     }
 
     /// Registered tenant names, in id order.
@@ -96,8 +126,9 @@ impl<T> AdmissionQueues<T> {
         self.tenants.iter().position(|t| t == name)
     }
 
-    /// Admits `item` for `tenant` (by id), or sheds it with a typed
-    /// [`Rejection`].
+    /// Admits `item` for `tenant` (by id) on `lane`, or sheds it with a
+    /// typed [`Rejection`]. Lanes index modulo the lane count, so any
+    /// router hash can be passed directly.
     ///
     /// # Errors
     ///
@@ -105,12 +136,13 @@ impl<T> AdmissionQueues<T> {
     /// [`Rejection::QueueFull`] / [`Rejection::Overloaded`] on the
     /// per-tenant / global bounds, [`Rejection::ShuttingDown`] after
     /// [`close`](AdmissionQueues::close).
-    pub fn submit(&self, tenant: usize, item: T) -> Result<(), Rejection> {
+    pub fn submit(&self, tenant: usize, lane: usize, item: T) -> Result<(), Rejection> {
         if tenant >= self.tenants.len() {
             return Err(Rejection::UnknownTenant {
                 tenant: format!("#{tenant}"),
             });
         }
+        let lane = lane % self.ready.len();
         let mut q = self.state.lock().expect("admission lock poisoned");
         if q.closed {
             return Err(Rejection::ShuttingDown);
@@ -118,52 +150,56 @@ impl<T> AdmissionQueues<T> {
         if q.total >= self.global_capacity {
             return Err(Rejection::Overloaded);
         }
-        if q.per_tenant[tenant].len() >= self.queue_capacity {
+        if q.tenant_totals[tenant] >= self.queue_capacity {
             return Err(Rejection::QueueFull {
                 tenant: self.tenants[tenant].clone(),
             });
         }
-        q.per_tenant[tenant].push_back(item);
+        q.per_lane[lane][tenant].push_back(item);
+        q.lane_totals[lane] += 1;
+        q.tenant_totals[tenant] += 1;
         q.total += 1;
         drop(q);
-        self.ready.notify_one();
+        self.ready[lane].notify_one();
         Ok(())
     }
 
-    /// Drains up to `max` admitted items, round-robin across tenants,
-    /// blocking up to `wait` when nothing is queued. Returns an empty
-    /// vector on timeout or when the queues are closed and empty (the
-    /// executor's exit signal is closed + empty).
-    pub fn drain(&self, max: usize, wait: Duration) -> Vec<T> {
+    /// Drains up to `max` admitted items from `lane`, round-robin across
+    /// tenants, blocking up to `wait` when the lane is empty. Returns an
+    /// empty vector on timeout or when the queues are closed and the lane
+    /// is empty (the lane executor's exit signal is closed + empty).
+    pub fn drain(&self, lane: usize, max: usize, wait: Duration) -> Vec<T> {
+        let lane = lane % self.ready.len();
         let mut q = self.state.lock().expect("admission lock poisoned");
-        if q.total == 0 && !q.closed {
-            let (guard, _timeout) = self
-                .ready
+        if q.lane_totals[lane] == 0 && !q.closed {
+            let (guard, _timeout) = self.ready[lane]
                 .wait_timeout(q, wait)
                 .expect("admission lock poisoned");
             q = guard;
         }
-        let n = q.per_tenant.len();
+        let n = q.per_lane[lane].len();
         let mut out = Vec::new();
         if n == 0 {
             return out;
         }
         // Round-robin: one item per tenant per pass, starting at the
-        // cursor, until `max` items or empty.
-        while out.len() < max && q.total > 0 {
+        // lane's cursor, until `max` items or empty.
+        while out.len() < max && q.lane_totals[lane] > 0 {
             let mut took_any = false;
             for i in 0..n {
                 if out.len() >= max {
                     break;
                 }
-                let t = (q.cursor + i) % n;
-                if let Some(item) = q.per_tenant[t].pop_front() {
+                let t = (q.cursors[lane] + i) % n;
+                if let Some(item) = q.per_lane[lane][t].pop_front() {
+                    q.lane_totals[lane] -= 1;
+                    q.tenant_totals[t] -= 1;
                     q.total -= 1;
                     out.push(item);
                     took_any = true;
                 }
             }
-            q.cursor = (q.cursor + 1) % n;
+            q.cursors[lane] = (q.cursors[lane] + 1) % n;
             if !took_any {
                 break;
             }
@@ -176,17 +212,20 @@ impl<T> AdmissionQueues<T> {
         self.state.lock().expect("admission lock poisoned").total
     }
 
-    /// Whether the queues are closed and drained — the executor's exit
-    /// condition.
-    pub fn is_finished(&self) -> bool {
+    /// Whether the queues are closed and `lane` is drained — the lane
+    /// executor's exit condition.
+    pub fn is_finished(&self, lane: usize) -> bool {
+        let lane = lane % self.ready.len();
         let q = self.state.lock().expect("admission lock poisoned");
-        q.closed && q.total == 0
+        q.closed && q.lane_totals[lane] == 0
     }
 
     /// Stops admitting new work; already-queued items still drain.
     pub fn close(&self) {
         self.state.lock().expect("admission lock poisoned").closed = true;
-        self.ready.notify_all();
+        for cv in &self.ready {
+            cv.notify_all();
+        }
     }
 }
 
@@ -194,62 +233,89 @@ impl<T> AdmissionQueues<T> {
 mod tests {
     use super::*;
 
-    fn queues(cap: usize, global: usize) -> AdmissionQueues<u32> {
-        AdmissionQueues::new(vec!["a".into(), "b".into()], cap, global)
+    fn queues(cap: usize, global: usize, lanes: usize) -> AdmissionQueues<u32> {
+        AdmissionQueues::new(vec!["a".into(), "b".into()], cap, global, lanes)
     }
 
     #[test]
     fn per_tenant_bound_sheds_only_the_flooder() {
-        let q = queues(2, 100);
-        assert!(q.submit(0, 1).is_ok());
-        assert!(q.submit(0, 2).is_ok());
+        let q = queues(2, 100, 1);
+        assert!(q.submit(0, 0, 1).is_ok());
+        assert!(q.submit(0, 0, 2).is_ok());
         assert_eq!(
-            q.submit(0, 3),
+            q.submit(0, 0, 3),
             Err(Rejection::QueueFull { tenant: "a".into() })
         );
         // The other tenant still gets in.
-        assert!(q.submit(1, 9).is_ok());
+        assert!(q.submit(1, 0, 9).is_ok());
+    }
+
+    #[test]
+    fn per_tenant_bound_spans_lanes() {
+        // The tenant cap is on the tenant's total backlog, not per lane —
+        // spreading a flood across lanes must not dodge the bound.
+        let q = queues(2, 100, 4);
+        assert!(q.submit(0, 0, 1).is_ok());
+        assert!(q.submit(0, 3, 2).is_ok());
+        assert_eq!(
+            q.submit(0, 1, 3),
+            Err(Rejection::QueueFull { tenant: "a".into() })
+        );
+        assert!(q.submit(1, 1, 9).is_ok());
     }
 
     #[test]
     fn global_bound_rejects_with_overloaded() {
-        let q = queues(10, 3);
+        let q = queues(10, 3, 2);
         for i in 0..3 {
-            q.submit((i % 2) as usize, i).unwrap();
+            q.submit((i % 2) as usize, i as usize, i).unwrap();
         }
-        assert_eq!(q.submit(1, 99), Err(Rejection::Overloaded));
+        assert_eq!(q.submit(1, 0, 99), Err(Rejection::Overloaded));
     }
 
     #[test]
     fn unknown_tenant_is_typed() {
-        let q = queues(2, 10);
+        let q = queues(2, 10, 1);
         assert!(matches!(
-            q.submit(7, 0),
+            q.submit(7, 0, 0),
             Err(Rejection::UnknownTenant { .. })
         ));
     }
 
     #[test]
     fn drain_is_round_robin_and_bounded() {
-        let q = queues(10, 100);
+        let q = queues(10, 100, 1);
         for i in 0..4u32 {
-            q.submit(0, i).unwrap();
+            q.submit(0, 0, i).unwrap();
         }
-        q.submit(1, 100).unwrap();
-        let batch = q.drain(3, Duration::from_millis(1));
+        q.submit(1, 0, 100).unwrap();
+        let batch = q.drain(0, 3, Duration::from_millis(1));
         // One per tenant per pass: a0, b100, then a1.
         assert_eq!(batch, vec![0, 100, 1]);
         assert_eq!(q.backlog(), 2);
     }
 
     #[test]
+    fn lanes_are_isolated() {
+        let q = queues(10, 100, 2);
+        q.submit(0, 0, 1).unwrap();
+        q.submit(0, 1, 2).unwrap();
+        q.submit(1, 1, 3).unwrap();
+        assert_eq!(q.drain(0, 10, Duration::from_millis(1)), vec![1]);
+        assert_eq!(q.drain(1, 10, Duration::from_millis(1)), vec![2, 3]);
+        assert_eq!(q.backlog(), 0);
+    }
+
+    #[test]
     fn close_rejects_new_but_drains_old() {
-        let q = queues(4, 10);
-        q.submit(0, 5).unwrap();
+        let q = queues(4, 10, 2);
+        q.submit(0, 1, 5).unwrap();
         q.close();
-        assert_eq!(q.submit(0, 6), Err(Rejection::ShuttingDown));
-        assert!(!q.is_finished());
-        assert_eq!(q.drain(10, Duration::from_millis(1)), vec![5]);
-        assert!(q.is_finished());
+        assert_eq!(q.submit(0, 1, 6), Err(Rejection::ShuttingDown));
+        // Lane 0 is already drained; lane 1 still holds the item.
+        assert!(q.is_finished(0));
+        assert!(!q.is_finished(1));
+        assert_eq!(q.drain(1, 10, Duration::from_millis(1)), vec![5]);
+        assert!(q.is_finished(1));
     }
 }

@@ -1,62 +1,86 @@
-//! The query executor: windowed batching, shared runs, warm starts, and
-//! degradation.
+//! The query executors: windowed batching, shared runs, warm starts, and
+//! degradation, fanned out across a lane-sharded thread pool.
 //!
-//! One executor thread drains admitted queries in sweeps of up to
-//! [`max_batch`](crate::ServeConfig::max_batch) (waiting up to
-//! [`batch_window`](crate::ServeConfig::batch_window) when idle), pins the
-//! current epoch once per sweep, and serves every query in the sweep from
-//! that pin:
+//! [`ServeConfig::executors`](crate::ServeConfig::executors) executor
+//! threads each own one admission lane. A thread drains its lane in
+//! sweeps of up to [`max_batch`](crate::ServeConfig::max_batch) (waiting
+//! up to [`batch_window`](crate::ServeConfig::batch_window) when idle),
+//! pins the current epoch once per sweep, and serves every query in the
+//! sweep from that pin:
 //!
-//! * **PageRank / CC** are whole-graph computations memoized per epoch.
-//!   The first read after an epoch advance re-converges the cached state —
-//!   warm-started via [`incremental_seeds`] + [`run_turbo_seeded`] when
-//!   the cache sits exactly one overlay delta behind (the common case
-//!   under streaming updates), cold otherwise, and cold every
+//! * **PageRank / CC** are whole-graph computations memoized per epoch in
+//!   `SharedCaches` — one mutex-guarded cache per class, shared by all
+//!   lanes so an epoch is converged exactly once no matter which lane's
+//!   read triggers it. Re-convergence is warm-started via
+//!   [`incremental_seeds`] + [`run_turbo_seeded`] when the cache sits
+//!   exactly one overlay delta behind (the common case under streaming
+//!   updates), cold otherwise, and cold every
 //!   [`warm_limit`](crate::ServeConfig::warm_limit) warm starts to bound
-//!   incremental drift. Every read within the epoch is then an array
-//!   index.
-//! * **Path queries** (SSSP/BFS/SSWP) batch by class: distinct sources in
-//!   the sweep fuse into [`FusedPaths`] runs of up to [`LANES`] lanes —
-//!   one traversal serving up to [`LANES`] single-source problems — and
-//!   each source's full result column is cached for the epoch, so
-//!   repeated sources (hot entities in skewed traffic) are array reads.
-//! * **Degradation**: when the writer lags by
+//!   incremental drift. The projected vector is `Arc`-shared, so a lane
+//!   holds the lock only for the ensure, never while replying. If another
+//!   lane already advanced the cache *past* this sweep's pin, the cached
+//!   newer epoch is served as-is (named exactly, not degraded) — epochs
+//!   only move forward.
+//! * **Path queries** (SSSP/BFS/SSWP) batch by class. The client routes
+//!   them by `(class, source)` hash, so this lane owns every query
+//!   against the sources it sees and the per-source column cache is
+//!   plain thread-local state. Columns cached at an older epoch
+//!   **warm-start across epochs**: the lane replays each intervening
+//!   overlay delta with [`incremental_seeds`] + [`run_turbo_seeded`] on
+//!   the typed column — bit-identical to a cold run, because monotone
+//!   incremental re-convergence is exact and fused lanes match
+//!   single-source runs — instead of a from-scratch fused traversal.
+//!   Only sources with no usable cache entry (or a delta chain longer
+//!   than `MAX_WARM_CHAIN`) fuse into [`FusedPaths`] runs of up to
+//!   [`LANES`] lanes.
+//! * **Degradation & amortized refresh**: when the writer lags by
 //!   [`degrade_lag`](crate::ServeConfig::degrade_lag) batches or more,
 //!   the sweep serves whatever epoch its caches already hold — flagged
 //!   [`degraded`](crate::QueryResponse::degraded), and still *exact for
 //!   the epoch the response names* — instead of recomputing toward a
-//!   current epoch the writer is about to obsolete anyway.
+//!   current epoch the writer is about to obsolete anyway. Whole-graph
+//!   caches additionally amortize under epoch churn: a cached
+//!   PageRank/CC vector keeps serving (degraded, named at its own epoch)
+//!   until the pin moves [`refresh_lag`](crate::ServeConfig::refresh_lag)
+//!   epochs ahead, because a whole-graph convergence costs seconds on
+//!   large graphs and chasing every published epoch would starve the
+//!   microsecond-scale reads behind it. Path columns are exempt — their
+//!   per-delta replays are cheap, so path reads always chase the head.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use gp_algorithms::engine::initial_state;
-use gp_algorithms::{incremental_seeds, ConnectedComponents, IncrementalAlgorithm, PageRankDelta};
+use gp_algorithms::{
+    incremental_seeds, Bfs, ConnectedComponents, IncrementalAlgorithm, PageRankDelta, Sssp, Sswp,
+};
 use gp_graph::{GraphView, VertexId};
 use gp_turbo::run_turbo_seeded;
 
 use crate::fused::{FusedPaths, PathKind, LANES};
 use crate::snapshot::Epoch;
-use crate::{Query, QueryClass, QueryResponse, Request, ServeStats, Shared};
+use crate::{Query, QueryClass, QueryResponse, Request, ServeConfig, ServeStats, Shared};
 
-/// Executor thread body: sweep until the queues are closed and drained.
-pub(crate) fn run(shared: &Shared) {
+/// Longest epoch-delta chain a cached path column replays before the lane
+/// falls back to a cold fused traversal. Bounds worst-case replay work
+/// for a source that went cold for many epochs.
+const MAX_WARM_CHAIN: u64 = 8;
+
+/// Executor thread body for one lane: sweep until the queues are closed
+/// and the lane is drained.
+pub(crate) fn run(shared: &Shared, lane: usize) {
     let mut exec = Executor {
         shared,
-        pagerank: ClassCache::new(PageRankDelta::new(
-            shared.config.pagerank_damping,
-            shared.config.pagerank_threshold,
-        )),
-        components: ClassCache::new(ConnectedComponents::new()),
+        lane,
         path_cache: HashMap::new(),
     };
     loop {
         let batch = shared
             .queues
-            .drain(shared.config.max_batch, shared.config.batch_window);
+            .drain(lane, shared.config.max_batch, shared.config.batch_window);
         if batch.is_empty() {
-            if shared.queues.is_finished() {
+            if shared.queues.is_finished(lane) {
                 break;
             }
             continue;
@@ -71,7 +95,7 @@ struct ClassCache<A: IncrementalAlgorithm> {
     /// Epoch `values` is converged at; `None` before the first run.
     epoch: Option<u64>,
     values: Vec<A::Value>,
-    projected: Vec<f64>,
+    projected: Arc<Vec<f64>>,
     warm_streak: u32,
 }
 
@@ -81,21 +105,35 @@ impl<A: IncrementalAlgorithm> ClassCache<A> {
             algo,
             epoch: None,
             values: Vec::new(),
-            projected: Vec::new(),
+            projected: Arc::new(Vec::new()),
             warm_streak: 0,
         }
     }
 
-    /// Makes `projected` valid for some epoch and returns
-    /// `(epoch_served, degraded)`: the pinned epoch normally, the stale
-    /// cached epoch under degradation.
-    fn ensure(&mut self, shared: &Shared, epoch: &Epoch, degraded_mode: bool) -> (u64, bool) {
-        if self.epoch == Some(epoch.number) {
-            return (epoch.number, false);
-        }
-        if degraded_mode {
-            if let Some(stale) = self.epoch {
-                return (stale, true);
+    /// Converges the cache for some epoch and returns
+    /// `(epoch_served, degraded, projected)`: the pinned epoch when the
+    /// cache refreshes, a newer cached epoch when another lane already
+    /// advanced past the pin (exact, not degraded), or the cached older
+    /// epoch — flagged degraded — under writer lag or within the
+    /// [`refresh_lag`](crate::ServeConfig::refresh_lag) staleness window.
+    fn ensure(
+        &mut self,
+        shared: &Shared,
+        epoch: &Epoch,
+        degraded_mode: bool,
+    ) -> (u64, bool, Arc<Vec<f64>>) {
+        if let Some(at) = self.epoch {
+            if at >= epoch.number {
+                return (at, false, Arc::clone(&self.projected));
+            }
+            // Reuse the cached vector — exact for the epoch it names —
+            // under writer lag, and under epoch churn until the pin pulls
+            // `refresh_lag` epochs ahead: whole-graph convergence costs
+            // seconds while everything else in a sweep costs
+            // microseconds, so chasing every published epoch would let
+            // write churn starve read throughput.
+            if degraded_mode || epoch.number - at < shared.config.refresh_lag as u64 {
+                return (at, true, Arc::clone(&self.projected));
             }
         }
         let warm = match (self.epoch, &epoch.delta) {
@@ -132,13 +170,34 @@ impl<A: IncrementalAlgorithm> ClassCache<A> {
             self.warm_streak = 0;
             ServeStats::count(&shared.stats.cold_runs);
         }
-        self.projected = self
-            .values
-            .iter()
-            .map(|&v| self.algo.value_to_f64(v))
-            .collect();
+        self.projected = Arc::new(
+            self.values
+                .iter()
+                .map(|&v| self.algo.value_to_f64(v))
+                .collect(),
+        );
         self.epoch = Some(epoch.number);
-        (epoch.number, false)
+        (epoch.number, false, Arc::clone(&self.projected))
+    }
+}
+
+/// Whole-graph class caches shared by every executor lane: one epoch
+/// convergence per class per epoch, whichever lane triggers it, with the
+/// projected vector `Arc`-handed to readers.
+pub(crate) struct SharedCaches {
+    pagerank: Mutex<ClassCache<PageRankDelta>>,
+    components: Mutex<ClassCache<ConnectedComponents>>,
+}
+
+impl SharedCaches {
+    pub(crate) fn new(config: &ServeConfig) -> Self {
+        SharedCaches {
+            pagerank: Mutex::new(ClassCache::new(PageRankDelta::new(
+                config.pagerank_damping,
+                config.pagerank_threshold,
+            ))),
+            components: Mutex::new(ClassCache::new(ConnectedComponents::new())),
+        }
     }
 }
 
@@ -146,11 +205,31 @@ impl<A: IncrementalAlgorithm> ClassCache<A> {
 /// the per-destination results.
 type CachedColumn = (u64, Arc<Vec<f64>>);
 
+/// Replays one epoch delta on a projected path column: lift the column
+/// back to the algorithm's typed values, re-converge incrementally, and
+/// re-project. Monotone incremental re-convergence is bit-exact vs.
+/// from-scratch, so the result equals a cold run at the new epoch.
+fn warm_step<A: IncrementalAlgorithm, G: GraphView + Sync>(
+    algo: &A,
+    graph: &G,
+    column: &mut Vec<f64>,
+    delta: &gp_graph::AppliedBatch,
+    turbo: &gp_turbo::TurboConfig,
+    from: impl Fn(f64) -> A::Value,
+) {
+    let mut vals: Vec<A::Value> = column.iter().map(|&x| from(x)).collect();
+    let plan = incremental_seeds(algo, graph, &mut vals, delta);
+    run_turbo_seeded(algo, graph, &mut vals, &plan.seeds, turbo);
+    *column = vals.iter().map(|&v| algo.value_to_f64(v)).collect();
+}
+
 struct Executor<'a> {
     shared: &'a Shared,
-    pagerank: ClassCache<PageRankDelta>,
-    components: ClassCache<ConnectedComponents>,
-    /// `(kind, source) -> (epoch, per-destination results)`.
+    #[allow(dead_code)]
+    lane: usize,
+    /// `(kind, source) -> (epoch, per-destination results)` — thread-local
+    /// to this lane; the client's lane routing guarantees no other lane
+    /// sees these sources.
     path_cache: HashMap<(PathKind, u32), CachedColumn>,
 }
 
@@ -194,26 +273,41 @@ impl Executor<'_> {
             }
         }
 
-        // Whole-graph classes: one ensure per class per sweep, then every
-        // read in the sweep shares it.
+        // Whole-graph classes: one ensure per class per sweep under the
+        // shared cache's lock; the Arc'd projection outlives the guard so
+        // replies never hold it.
         let need_pr = value_reads.iter().any(|(c, ..)| *c == QueryClass::PageRank);
         let need_cc = value_reads
             .iter()
             .any(|(c, ..)| *c == QueryClass::Components);
-        let pr_at = need_pr.then(|| self.pagerank.ensure(self.shared, &epoch, degraded_mode));
-        let cc_at = need_cc.then(|| self.components.ensure(self.shared, &epoch, degraded_mode));
+        let pr_at = need_pr.then(|| {
+            self.shared
+                .caches
+                .pagerank
+                .lock()
+                .expect("pagerank cache poisoned")
+                .ensure(self.shared, &epoch, degraded_mode)
+        });
+        let cc_at = need_cc.then(|| {
+            self.shared
+                .caches
+                .components
+                .lock()
+                .expect("components cache poisoned")
+                .ensure(self.shared, &epoch, degraded_mode)
+        });
         for (class, v, reply) in value_reads {
-            let ((served_epoch, degraded), projected) = match class {
-                QueryClass::PageRank => (pr_at.expect("ensured"), &self.pagerank.projected),
-                QueryClass::Components => (cc_at.expect("ensured"), &self.components.projected),
+            let (served_epoch, degraded, projected) = match class {
+                QueryClass::PageRank => pr_at.as_ref().expect("ensured"),
+                QueryClass::Components => cc_at.as_ref().expect("ensured"),
                 _ => unreachable!("value_reads holds only whole-graph classes"),
             };
             let _ = reply.send(QueryResponse {
-                epoch: served_epoch,
+                epoch: *served_epoch,
                 value: projected[v as usize],
-                degraded,
+                degraded: *degraded,
             });
-            self.shared.stats.count_served(class, degraded);
+            self.shared.stats.count_served(class, *degraded);
         }
 
         for kind in [PathKind::Sssp, PathKind::Bfs, PathKind::Sswp] {
@@ -221,6 +315,66 @@ impl Executor<'_> {
                 self.serve_paths(kind, reqs, &epoch, degraded_mode);
             }
         }
+    }
+
+    /// Re-converges a cached column for `src` to `epoch` by replaying the
+    /// delta chain between its cached epoch and the pin. `None` when
+    /// there is no cache entry, the chain is too long, or any link is
+    /// missing (epoch evicted from history, or a snapshot published
+    /// without a recorded delta) — the caller then runs cold.
+    fn warm_column(&self, kind: PathKind, src: u32, epoch: &Epoch) -> Option<Vec<f64>> {
+        let &(at, ref col) = self.path_cache.get(&(kind, src))?;
+        if at >= epoch.number || epoch.number - at > MAX_WARM_CHAIN {
+            return None;
+        }
+        // Verify the whole chain is replayable before doing any work.
+        let mut steps: Vec<Arc<Epoch>> = Vec::new();
+        for e in at + 1..epoch.number {
+            steps.push(self.shared.store.epoch(e)?);
+        }
+        if steps.iter().any(|s| s.delta.is_none()) || epoch.delta.is_none() {
+            return None;
+        }
+        let mut column: Vec<f64> = col.to_vec();
+        let turbo = &self.shared.config.turbo;
+        let root = VertexId::new(src);
+        for e in at + 1..=epoch.number {
+            let step: &Epoch = if e == epoch.number {
+                epoch
+            } else {
+                &steps[(e - at - 1) as usize]
+            };
+            let delta = step.delta.as_ref().expect("chain checked above");
+            match kind {
+                PathKind::Sssp => warm_step(
+                    &Sssp::new(root),
+                    &step.graph,
+                    &mut column,
+                    delta,
+                    turbo,
+                    |x| x,
+                ),
+                PathKind::Sswp => warm_step(
+                    &Sswp::new(root),
+                    &step.graph,
+                    &mut column,
+                    delta,
+                    turbo,
+                    |x| x,
+                ),
+                PathKind::Bfs => warm_step(
+                    &Bfs::new(root),
+                    &step.graph,
+                    &mut column,
+                    delta,
+                    turbo,
+                    // Lossless inverse of Bfs::value_to_f64: hop counts
+                    // are small integers, ∞ is the unreached sentinel.
+                    |x| if x.is_infinite() { u32::MAX } else { x as u32 },
+                ),
+            }
+        }
+        Some(column)
     }
 
     fn serve_paths(
@@ -248,9 +402,21 @@ impl Executor<'_> {
             }
         }
 
-        // Fuse missing sources into shared traversals, LANES at a time.
-        let needed: Vec<u32> = needed.into_iter().collect();
-        for chunk in needed.chunks(LANES) {
+        // Warm-start sources whose cached column can replay the delta
+        // chain to the pinned epoch; only the rest pay a fused traversal.
+        let mut cold: Vec<u32> = Vec::new();
+        for src in needed {
+            if let Some(column) = self.warm_column(kind, src, epoch) {
+                self.path_cache
+                    .insert((kind, src), (epoch.number, Arc::new(column)));
+                ServeStats::count(&self.shared.stats.path_warm_starts);
+            } else {
+                cold.push(src);
+            }
+        }
+
+        // Fuse remaining sources into shared traversals, LANES at a time.
+        for chunk in cold.chunks(LANES) {
             let sources: Vec<VertexId> = chunk.iter().map(|&s| VertexId::new(s)).collect();
             let fused = FusedPaths::new(kind, &sources);
             let (mut values, seeds) = initial_state(&fused, &epoch.graph);
@@ -288,9 +454,15 @@ impl Executor<'_> {
             self.shared.stats.count_served(class, degraded);
         }
 
-        // Crude bound on cache memory: a full reset once over capacity.
+        // Bound cache memory: over capacity, first drop stale-epoch
+        // entries (current ones keep warm-start continuity); a full reset
+        // only if the current epoch alone overflows.
         if self.path_cache.len() > self.shared.config.path_cache_sources {
-            self.path_cache.clear();
+            let now = epoch.number;
+            self.path_cache.retain(|_, &mut (at, _)| at == now);
+            if self.path_cache.len() > self.shared.config.path_cache_sources {
+                self.path_cache.clear();
+            }
         }
     }
 }

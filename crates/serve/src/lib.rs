@@ -16,14 +16,24 @@
 //!   [`SnapshotStore`]. Readers pin an epoch with one `Arc` clone; no
 //!   epoch ever mutates after publish; compaction swaps the base CSR
 //!   `Arc` without disturbing pinned readers.
-//! * **Batched query execution** ([`executor`]): one executor thread
-//!   drains admitted queries in windows, groups them by class, and
-//!   serves PageRank/CC from per-epoch memoized runs (warm-started
-//!   through [`incremental_seeds`](gp_algorithms::incremental_seeds) +
+//! * **Batched query execution** ([`executor`]): a pool of
+//!   [`ServeConfig::executors`] executor threads, one per admission
+//!   *lane*, drains admitted queries in windows and groups them by
+//!   class. Queries route to lanes by `(class, source)` hash, so every
+//!   query for a given path source lands on the same executor and its
+//!   per-source column cache stays thread-local (no cross-thread cache
+//!   coherence). PageRank/CC per-epoch runs are memoized once in shared,
+//!   mutex-guarded caches (warm-started through
+//!   [`incremental_seeds`](gp_algorithms::incremental_seeds) +
 //!   [`run_turbo_seeded`](gp_turbo::run_turbo_seeded) when the epoch
-//!   advanced by one overlay delta) and path queries through
-//!   [`FusedPaths`] multi-source frontier fusion — up to [`LANES`]
-//!   same-class sources per traversal — with a per-source result cache.
+//!   advanced by one overlay delta) and the projected vectors are
+//!   `Arc`-shared to every lane. Path queries fuse through [`FusedPaths`]
+//!   multi-source frontier fusion — up to [`LANES`] same-class sources
+//!   per traversal — and cached columns warm-start across epochs by
+//!   replaying the overlay deltas incrementally. All turbo runs use
+//!   [`ServeConfig::turbo_shards`] engine shards; sharded runs are
+//!   bit-identical to single-shard runs, so responses stay golden-exact
+//!   regardless of the shard count.
 //! * **Admission control** ([`admission`]): bounded per-tenant queues, a
 //!   global overload ceiling, typed [`Rejection`]s, and graceful
 //!   degradation — when the update pipeline lags behind
@@ -217,7 +227,16 @@ pub struct ServeConfig {
     /// Registered tenant names; queries carry a tenant id (index).
     pub tenants: Vec<String>,
     /// Turbo executor geometry for all recomputation runs.
+    /// `turbo.shards` is overwritten from [`ServeConfig::turbo_shards`]
+    /// at startup.
     pub turbo: TurboConfig,
+    /// Executor threads (= admission lanes). Queries route to lanes by
+    /// `(class, source)` hash so per-source path caches stay
+    /// thread-local. Minimum 1.
+    pub executors: usize,
+    /// Vertex shards for every turbo run the service performs. Sharded
+    /// runs are bit-identical to single-shard runs. Minimum 1.
+    pub turbo_shards: usize,
     /// Per-tenant admitted-query bound ([`Rejection::QueueFull`] beyond).
     pub queue_capacity: usize,
     /// Global admitted-query bound ([`Rejection::Overloaded`] beyond).
@@ -234,6 +253,19 @@ pub struct ServeConfig {
     /// last-epoch results instead of recomputing — the service sheds
     /// *freshness*, not availability, when writes outpace it.
     pub degrade_lag: usize,
+    /// Whole-graph (PageRank/CC) refresh stride under epoch churn: a
+    /// cached vector is reused — flagged [`QueryResponse::degraded`] and
+    /// named exactly at its own epoch — until the sweep's pinned epoch is
+    /// at least this many epochs ahead, then re-converged. Whole-graph
+    /// convergence costs seconds per epoch on large graphs while path
+    /// queries (which always chase the head) cost microseconds, so
+    /// chasing every published epoch lets write churn starve read
+    /// throughput; this bounds that staleness at a fixed number of
+    /// epochs instead. `1` chases every epoch. Minimum 1. The default
+    /// matches the longest path-column replay chain (`MAX_WARM_CHAIN`),
+    /// so one whole-graph refresh spans the same epoch window as the
+    /// deepest path replay.
+    pub refresh_lag: usize,
     /// Overlay compaction threshold (pool fraction of base edges), applied
     /// off the read path after each publish.
     pub compact_fraction: f64,
@@ -257,12 +289,15 @@ impl Default for ServeConfig {
         ServeConfig {
             tenants: vec!["default".to_string()],
             turbo: TurboConfig::default(),
+            executors: 1,
+            turbo_shards: 1,
             queue_capacity: 1_024,
             global_capacity: 8_192,
             max_batch: 256,
             batch_window: Duration::from_micros(200),
             update_queue: 8,
             degrade_lag: 4,
+            refresh_lag: 8,
             compact_fraction: 0.25,
             retain_epochs: 64,
             warm_limit: 16,
@@ -286,6 +321,7 @@ pub struct ServeStats {
     cold_runs: AtomicU64,
     fused_runs: AtomicU64,
     path_cache_hits: AtomicU64,
+    path_warm_starts: AtomicU64,
     sweeps: AtomicU64,
 }
 
@@ -312,6 +348,9 @@ pub struct StatsSnapshot {
     pub fused_runs: u64,
     /// Path queries answered from the per-source result cache.
     pub path_cache_hits: u64,
+    /// Cached path columns re-converged to a newer epoch by replaying
+    /// overlay deltas incrementally instead of a cold fused traversal.
+    pub path_warm_starts: u64,
     /// Executor batching sweeps that served at least one query.
     pub sweeps: u64,
 }
@@ -347,6 +386,7 @@ impl ServeStats {
             cold_runs: self.cold_runs.load(Ordering::Relaxed),
             fused_runs: self.fused_runs.load(Ordering::Relaxed),
             path_cache_hits: self.path_cache_hits.load(Ordering::Relaxed),
+            path_warm_starts: self.path_warm_starts.load(Ordering::Relaxed),
             sweeps: self.sweeps.load(Ordering::Relaxed),
         }
     }
@@ -363,6 +403,9 @@ pub(crate) struct Shared {
     pub(crate) queues: AdmissionQueues<Request>,
     pub(crate) store: SnapshotStore,
     pub(crate) stats: ServeStats,
+    /// Whole-graph PageRank/CC caches, computed once per epoch under a
+    /// mutex and `Arc`-shared to every executor lane.
+    pub(crate) caches: executor::SharedCaches,
     /// Update batches submitted but not yet published — the freshness lag
     /// that triggers degradation.
     pub(crate) update_lag: AtomicUsize,
@@ -387,6 +430,11 @@ impl Server {
     /// the frozen base graph, the executor begins draining queries, the
     /// writer begins consuming update batches.
     pub fn start(base: CsrGraph, config: ServeConfig) -> ServeHandle {
+        let mut config = config;
+        config.executors = config.executors.max(1);
+        config.turbo_shards = config.turbo_shards.max(1);
+        config.turbo.shards = config.turbo_shards;
+        config.refresh_lag = config.refresh_lag.max(1);
         let num_vertices = base.num_vertices();
         let mut overlay = OverlayGraph::new(base);
         let store = SnapshotStore::new(overlay.freeze(), config.retain_epochs);
@@ -395,9 +443,11 @@ impl Server {
                 config.tenants.clone(),
                 config.queue_capacity,
                 config.global_capacity,
+                config.executors,
             ),
             store,
             stats: ServeStats::default(),
+            caches: executor::SharedCaches::new(&config),
             update_lag: AtomicUsize::new(0),
             shutting_down: AtomicBool::new(false),
             num_vertices,
@@ -438,18 +488,20 @@ impl Server {
                 .expect("spawn writer thread")
         };
 
-        let executor = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("gp-serve-executor".into())
-                .spawn(move || executor::run(&shared))
-                .expect("spawn executor thread")
-        };
+        let executors = (0..config.executors)
+            .map(|lane| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gp-serve-executor-{lane}"))
+                    .spawn(move || executor::run(&shared, lane))
+                    .expect("spawn executor thread")
+            })
+            .collect();
 
         ServeHandle {
             shared,
             update_tx,
-            executor: Some(executor),
+            executors,
             writer: Some(writer),
         }
     }
@@ -459,7 +511,7 @@ impl Server {
 pub struct ServeHandle {
     shared: Arc<Shared>,
     update_tx: SyncSender<Vec<EdgeUpdate>>,
-    executor: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
     writer: Option<JoinHandle<()>>,
 }
 
@@ -495,7 +547,7 @@ impl ServeHandle {
     /// final counters.
     pub fn shutdown(mut self) -> StatsSnapshot {
         self.shared.queues.close();
-        if let Some(h) = self.executor.take() {
+        for h in self.executors.drain(..) {
             let _ = h.join();
         }
         // The writer drains every batch submitted before this flag flips,
@@ -508,6 +560,29 @@ impl ServeHandle {
         }
         self.shared.stats.snapshot()
     }
+}
+
+/// Routes a query to an executor lane. All whole-graph reads of a class
+/// share a lane; path queries route by `(class, source)` so one lane owns
+/// every query against a given source column and its cache entry is
+/// touched by exactly one thread.
+pub(crate) fn lane_of(query: &Query, lanes: usize) -> usize {
+    if lanes <= 1 {
+        return 0;
+    }
+    let (class, src) = match *query {
+        Query::PageRank { .. } => (0u64, 0u32),
+        Query::Components { .. } => (1, 0),
+        Query::Sssp { src, .. } => (2, src.get()),
+        Query::Bfs { src, .. } => (3, src.get()),
+        Query::Sswp { src, .. } => (4, src.get()),
+    };
+    // Fibonacci-style multiply hash; deterministic across runs.
+    let mut h = class
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(src).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    h ^= h >> 31;
+    (h % lanes as u64) as usize
 }
 
 /// Clonable query-side client of a running service.
@@ -544,7 +619,12 @@ impl ServeClient {
             return Err(r);
         }
         let (reply, rx) = mpsc::channel();
-        match self.shared.queues.submit(tenant, Request { query, reply }) {
+        let lane = lane_of(&query, self.shared.queues.lanes());
+        match self
+            .shared
+            .queues
+            .submit(tenant, lane, Request { query, reply })
+        {
             Ok(()) => Ok(rx),
             Err(r) => {
                 ServeStats::count(&self.shared.stats.rejected);

@@ -149,7 +149,13 @@ fn warm_starts_engage_under_steady_pagerank_traffic() {
         9,
     );
     let shadow_base = g.clone();
-    let handle = Server::start(g, ServeConfig::default());
+    // refresh_lag 1 = chase every epoch, so each read exercises the
+    // one-delta-behind warm path this test is about.
+    let config = ServeConfig {
+        refresh_lag: 1,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(g, config);
     let client = handle.client();
     let updater = handle.updater();
     let tenant = client.tenant_id("default").expect("default tenant");

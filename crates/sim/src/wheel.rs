@@ -302,6 +302,25 @@ impl<T> HierarchicalWheel<T> {
         }
     }
 
+    /// Advances `now` to `key` without draining anything, cascading coarser
+    /// buckets down as their windows open.
+    ///
+    /// This exists for shard-synchronized draining (the sharded turbo
+    /// engine): every shard's wheel is advanced to the global round key so
+    /// that clamping and the insertable window `[now, max_key()]` are
+    /// identical on every shard, whichever shard the round's bucket lives
+    /// on. Keys at or before `now` are a no-op.
+    ///
+    /// Caller contract: no resident payload may have a key below `key`
+    /// (such payloads would be skipped over and only surface later, clamped
+    /// — the same "overdue" semantics as [`HierarchicalWheel::insert`], but
+    /// almost certainly not what a key-ordered consumer wants).
+    pub fn advance_to(&mut self, key: u64) {
+        while self.now < key {
+            self.advance_one();
+        }
+    }
+
     /// Steps `now` forward one key, cascading coarser buckets whose window
     /// opens at the new position down into finer levels.
     fn advance_one(&mut self) {
@@ -412,6 +431,46 @@ mod tests {
         // The handed-back payload can be clamped to the horizon by the caller.
         assert_eq!(w.insert(w.max_key(), err.payload), Ok(15));
         assert_eq!(w.pop(), Some((15, 9)));
+    }
+
+    #[test]
+    fn hierarchical_advance_to_matches_drain_position() {
+        // Advancing an empty wheel to key K and then inserting at K must
+        // behave exactly like draining a sibling wheel up to K: same now,
+        // same insertable window, same drain order afterwards.
+        let mut advanced: HierarchicalWheel<u32> = HierarchicalWheel::new(4, 3); // horizon 64
+        let mut drained: HierarchicalWheel<u32> = HierarchicalWheel::new(4, 3);
+        drained.insert(37, 0).unwrap();
+        assert_eq!(drained.drain_next(), Some((37, vec![0])));
+        advanced.advance_to(37);
+        assert_eq!(advanced.now(), drained.now());
+        assert_eq!(advanced.max_key(), drained.max_key());
+        for w in [&mut advanced, &mut drained] {
+            assert_eq!(w.insert(37, 1), Ok(37));
+            assert_eq!(w.insert(63, 2), Ok(63));
+            assert!(w.insert(37 + 64, 3).is_err());
+        }
+        assert_eq!(advanced.drain_next(), drained.drain_next());
+        assert_eq!(advanced.drain_next(), drained.drain_next());
+        assert_eq!(advanced.drain_next(), None);
+    }
+
+    #[test]
+    fn hierarchical_advance_to_cascades_future_payloads() {
+        // Payloads at or beyond the target key must survive the advance and
+        // still drain at their own keys (cascading from coarse levels).
+        let mut w: HierarchicalWheel<u32> = HierarchicalWheel::new(4, 3); // horizon 64
+        w.insert(20, 1).unwrap();
+        w.insert(45, 2).unwrap();
+        w.advance_to(20);
+        assert_eq!(w.now(), 20);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.drain_next(), Some((20, vec![1])));
+        w.advance_to(45);
+        assert_eq!(w.drain_next(), Some((45, vec![2])));
+        // Advancing backwards (or to the current position) is a no-op.
+        w.advance_to(3);
+        assert_eq!(w.now(), 45);
     }
 
     #[test]

@@ -1,4 +1,33 @@
-//! The turbo executor: SoA coalescing pool + prioritized bucket draining.
+//! The turbo executor: SoA coalescing pool + prioritized bucket draining,
+//! optionally sharded across worker threads with a deterministic
+//! cross-shard merge.
+//!
+//! # Sharded execution
+//!
+//! With [`TurboConfig::shards`] > 1 the dense event pool and the
+//! hierarchical wheel are partitioned by contiguous vertex range: shard
+//! `i` owns vertices `[i*B, (i+1)*B)` for block size `B = ceil(n /
+//! shards)`. Execution proceeds in global *rounds*: each round drains the
+//! smallest key resident on **any** shard (all shard wheels are advanced
+//! to that key first, so clamping and the overflow window are identical
+//! everywhere), and every delta propagated during the round is buffered
+//! in a per-target-shard outbox instead of being deposited immediately.
+//! At the end of the round the outboxes are merged in canonical `(bucket,
+//! shard, seq)` order — ascending source shard, batch order within a
+//! shard — which, because shards own contiguous ranges and batches are
+//! vertex-sorted, is exactly ascending global source vertex. The same
+//! discipline (and the same argument) as the shard-parallel cycle
+//! engine's inbox merge.
+//!
+//! Because the round schedule, the deposit order, and the clamp window
+//! are all functions of the global key sequence alone, the outcome —
+//! values, every counter, the round log — is bit-identical for any shard
+//! count, including 1. A sequential driver and a scoped-thread driver
+//! execute the identical per-round steps; the threaded driver is used
+//! when `shards > 1` and no fault is injected.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, RwLock};
 
 use gp_algorithms::DeltaAlgorithm;
 use gp_graph::{GraphView, VertexId};
@@ -22,13 +51,20 @@ pub struct TurboConfig {
     /// round-based sweeps — useful for isolating the prioritization win.
     pub prioritized: bool,
     /// Sort each drained bucket by vertex id so the kernel walks monotone,
-    /// cache-blocked CSR ranges.
+    /// cache-blocked CSR ranges. Also what makes the cross-shard merge
+    /// order canonical; the bit-identical-across-shard-counts guarantee
+    /// assumes it stays on (the default).
     pub sort_buckets: bool,
+    /// Vertex shards (0 and 1 both mean single-shard). Shards drain on
+    /// worker threads; the outcome is bit-identical for any value.
+    pub shards: usize,
     /// Record a per-round log (key, drained, processed) in the outcome.
     /// Off by default: the log costs memory proportional to the round
     /// count and is only needed by determinism tests and diagnostics.
     pub record_rounds: bool,
     /// Deterministic stale-entry fault injection (`None` = clean run).
+    /// Faulted runs always use the sequential driver so the victim scan
+    /// stays a plain global sweep.
     pub fault: Option<StaleFault>,
 }
 
@@ -58,6 +94,7 @@ impl Default for TurboConfig {
             wheel_levels: 3,
             prioritized: true,
             sort_buckets: true,
+            shards: 1,
             record_rounds: false,
             fault: None,
         }
@@ -65,6 +102,9 @@ impl Default for TurboConfig {
 }
 
 /// One drained priority bucket in the optional round log.
+///
+/// With shards, one entry covers the whole global round: `drained` and
+/// `processed` sum over every shard that had the round's key resident.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoundStat {
     /// Wheel key (quantized urgency class) of the bucket.
@@ -98,7 +138,8 @@ pub struct TurboOutcome {
     /// were handed off to the outermost bucket. Always zero with the
     /// default geometry (horizon = key space).
     pub overflow_handoffs: u64,
-    /// Buckets drained (scheduling rounds).
+    /// Global rounds (distinct key visits; a bucket drained on several
+    /// shards in the same round counts once).
     pub rounds: u64,
     /// Vertices whose pending delta was still active when the wheel ran
     /// dry — events the scheduler lost. Always empty on a clean run; the
@@ -181,7 +222,8 @@ impl TurboOutcome {
     }
 }
 
-/// The dense per-vertex event pool, struct-of-arrays.
+/// The dense per-vertex event pool, struct-of-arrays, indexed by
+/// shard-local vertex offset.
 ///
 /// At most one pending delta per vertex ever exists (the accelerator's
 /// in-place coalescing invariant); `active` marks occupancy and `enq_key`
@@ -201,55 +243,356 @@ struct Counters {
     stale: u64,
     reschedules: u64,
     overflows: u64,
-    rounds: u64,
 }
 
-/// Deposits `delta` for `target`: coalesces into the pending slot and
-/// (re-)schedules the vertex in the wheel keyed by its quantized urgency.
-fn deposit<A: DeltaAlgorithm>(
-    algo: &A,
-    cfg: &TurboConfig,
-    wheel: &mut HierarchicalWheel<u32>,
-    pool: &mut Pool<A>,
-    stats: &mut Counters,
-    target: VertexId,
-    delta: A::Delta,
-) {
-    stats.generated += 1;
-    let t = target.index();
-    let merged = if pool.active[t] {
-        stats.coalesced += 1;
-        pool.pending[t] = algo.coalesce(pool.pending[t], delta);
-        pool.pending[t]
-    } else {
-        pool.pending[t] = delta;
-        delta
-    };
-    let raw = if cfg.prioritized {
-        key_of(algo.urgency(merged))
-    } else {
-        0
-    };
-    // Clamp into the live window: keys in the past run now, keys beyond the
-    // horizon are handed off to the outermost bucket (exact order within
-    // the horizon, approximate beyond it — any order converges per §II-B).
-    if raw > wheel.max_key() {
-        stats.overflows += 1;
+impl Counters {
+    fn add(&mut self, o: &Counters) {
+        self.processed += o.processed;
+        self.generated += o.generated;
+        self.coalesced += o.coalesced;
+        self.stale += o.stale;
+        self.reschedules += o.reschedules;
+        self.overflows += o.overflows;
     }
-    let key = raw.clamp(wheel.now(), wheel.max_key());
-    if !pool.active[t] {
-        pool.active[t] = true;
-    } else if key >= pool.enq_key[t] {
-        // Already scheduled at least as urgently; the existing entry stands.
+}
+
+/// One vertex shard: its slice of the event pool, its own wheel, and a
+/// sorted index of resident keys (so the global round key — the minimum
+/// across shards — is O(1) to read).
+/// Per-target-shard delta buffers: `outbox[s]` holds the `(vertex,
+/// delta)` pairs a drain produced for shard `s`, in propagation order.
+type Outbox<D> = Vec<Vec<(u32, D)>>;
+
+struct Shard<A: DeltaAlgorithm> {
+    /// First global vertex id this shard owns.
+    start: u32,
+    /// Number of vertices owned.
+    len: usize,
+    /// Global routing block size `B`: vertex `v` belongs to shard
+    /// `v / B`. Identical on every shard.
+    block: usize,
+    pool: Pool<A>,
+    wheel: HierarchicalWheel<u32>,
+    /// Keys with at least one wheel entry (stale ones included); the
+    /// minimum is the shard's candidate for the next global round.
+    keys: std::collections::BTreeSet<u64>,
+    identity: A::Delta,
+    stats: Counters,
+}
+
+impl<A: DeltaAlgorithm> Shard<A> {
+    fn new(algo: &A, cfg: &TurboConfig, start: u32, len: usize, block: usize) -> Self {
+        let identity = algo.identity_delta();
+        Shard {
+            start,
+            len,
+            block,
+            pool: Pool {
+                pending: vec![identity; len],
+                active: vec![false; len],
+                enq_key: vec![0; len],
+            },
+            wheel: HierarchicalWheel::new(cfg.wheel_slots, cfg.wheel_levels),
+            keys: std::collections::BTreeSet::new(),
+            identity,
+            stats: Counters::default(),
+        }
+    }
+
+    /// Smallest key resident on this shard, if any.
+    fn next_key(&self) -> Option<u64> {
+        self.keys.iter().next().copied()
+    }
+
+    /// Deposits `delta` for the owned vertex `target`: coalesces into the
+    /// pending slot and (re-)schedules the vertex in this shard's wheel
+    /// keyed by its quantized urgency. The wheel has already been advanced
+    /// to the current global round key, so the clamp window `[now,
+    /// max_key]` is the same on every shard.
+    fn deposit(&mut self, algo: &A, cfg: &TurboConfig, target: u32, delta: A::Delta) {
+        self.stats.generated += 1;
+        let t = (target - self.start) as usize;
+        let merged = if self.pool.active[t] {
+            self.stats.coalesced += 1;
+            self.pool.pending[t] = algo.coalesce(self.pool.pending[t], delta);
+            self.pool.pending[t]
+        } else {
+            self.pool.pending[t] = delta;
+            delta
+        };
+        let raw = if cfg.prioritized {
+            key_of(algo.urgency(merged))
+        } else {
+            0
+        };
+        // Clamp into the live window: keys in the past run now, keys beyond
+        // the horizon are handed off to the outermost bucket (exact order
+        // within the horizon, approximate beyond it — any order converges
+        // per §II-B).
+        if raw > self.wheel.max_key() {
+            self.stats.overflows += 1;
+        }
+        let key = raw.clamp(self.wheel.now(), self.wheel.max_key());
+        if !self.pool.active[t] {
+            self.pool.active[t] = true;
+        } else if key >= self.pool.enq_key[t] {
+            // Already scheduled at least as urgently; the existing entry
+            // stands.
+            return;
+        } else {
+            // Move to the more urgent bucket; the old entry becomes stale
+            // and is skipped on drain (lazy deletion).
+            self.stats.reschedules += 1;
+        }
+        self.pool.enq_key[t] = key;
+        let inserted = self.wheel.insert(key, target);
+        debug_assert_eq!(inserted, Ok(key), "clamped key must fit the horizon");
+        self.keys.insert(key);
+    }
+
+    /// Drains this shard's bucket for the global round key `key` (a no-op
+    /// returning zeros if the shard has nothing resident at that key),
+    /// applying deltas to the shard's `values` slice and buffering every
+    /// propagated delta into `outbox[target_shard]` instead of depositing.
+    /// Returns `(drained, processed)`.
+    fn drain_round<G: GraphView>(
+        &mut self,
+        algo: &A,
+        graph: &G,
+        cfg: &TurboConfig,
+        key: u64,
+        values: &mut [A::Value],
+        outbox: &mut [Vec<(u32, A::Delta)>],
+    ) -> (u64, u64) {
+        if self.next_key() != Some(key) {
+            return (0, 0);
+        }
+        self.keys.remove(&key);
+        let (drained_key, mut batch) = self
+            .wheel
+            .drain_next()
+            .expect("key index said a bucket is resident");
+        debug_assert_eq!(drained_key, key, "key index out of sync with wheel");
+        if cfg.sort_buckets {
+            batch.sort_unstable();
+        }
+        let drained = batch.len() as u64;
+        let mut applied = 0u64;
+        for raw_v in batch {
+            let vi = (raw_v - self.start) as usize;
+            if !self.pool.active[vi] || self.pool.enq_key[vi] != key {
+                self.stats.stale += 1;
+                continue;
+            }
+            self.pool.active[vi] = false;
+            let delta = std::mem::replace(&mut self.pool.pending[vi], self.identity);
+            self.stats.processed += 1;
+            applied += 1;
+            let u = VertexId::new(raw_v);
+            let old = values[vi];
+            let new = algo.reduce(old, delta);
+            values[vi] = new;
+            if let Some(basis) = algo.propagation_basis(old, new) {
+                let degree = graph.out_degree(u);
+                for i in 0..degree {
+                    let edge = graph.out_edge(u, i);
+                    if let Some(d) = algo.propagate(basis, u, degree, edge) {
+                        outbox[edge.other.index() / self.block].push((edge.other.get(), d));
+                    }
+                }
+            }
+        }
+        (drained, applied)
+    }
+
+    /// Applies one source shard's buffered deltas to this shard, in buffer
+    /// order. Callers iterate source shards in ascending order, which makes
+    /// the overall merge ascending in global source vertex.
+    fn absorb(&mut self, algo: &A, cfg: &TurboConfig, entries: &[(u32, A::Delta)]) {
+        for &(target, delta) in entries {
+            self.deposit(algo, cfg, target, delta);
+        }
+    }
+}
+
+/// Flips the top `enq_key` bit of the `pick`-th active vertex across all
+/// shards in global index order — the [`StaleFault`] upset.
+fn inject_stale_fault<A: DeltaAlgorithm>(shards: &mut [Shard<A>], pick: u64) {
+    let active_count: usize = shards
+        .iter()
+        .map(|s| s.pool.active.iter().filter(|&&a| a).count())
+        .sum();
+    if active_count == 0 {
         return;
-    } else {
-        // Move to the more urgent bucket; the old entry becomes stale and
-        // is skipped on drain (lazy deletion).
-        stats.reschedules += 1;
     }
-    pool.enq_key[t] = key;
-    let inserted = wheel.insert(key, target.get());
-    debug_assert_eq!(inserted, Ok(key), "clamped key must fit the horizon");
+    let mut kth = (pick % active_count as u64) as usize;
+    for shard in shards.iter_mut() {
+        for (i, &a) in shard.pool.active.iter().enumerate() {
+            if a {
+                if kth == 0 {
+                    shard.pool.enq_key[i] ^= 1 << 63;
+                    return;
+                }
+                kth -= 1;
+            }
+        }
+    }
+    unreachable!("kth < active_count");
+}
+
+/// Sequential round driver: the reference implementation of the global
+/// round protocol, also the only driver that supports fault injection.
+fn drive_sequential<A: DeltaAlgorithm, G: GraphView>(
+    algo: &A,
+    graph: &G,
+    cfg: &TurboConfig,
+    shards: &mut [Shard<A>],
+    slices: &mut [&mut [A::Value]],
+) -> (u64, Vec<RoundStat>) {
+    let s_count = shards.len();
+    let mut outboxes: Vec<Outbox<A::Delta>> =
+        (0..s_count).map(|_| vec![Vec::new(); s_count]).collect();
+    let mut rounds = 0u64;
+    let mut round_log = Vec::new();
+    let mut fault_armed = cfg.fault.is_some();
+    while let Some(k) = shards.iter().filter_map(Shard::next_key).min() {
+        rounds += 1;
+        let mut drained = 0u64;
+        let mut processed = 0u64;
+        for ((shard, slice), outbox) in shards
+            .iter_mut()
+            .zip(slices.iter_mut())
+            .zip(outboxes.iter_mut())
+        {
+            shard.wheel.advance_to(k);
+            for lane in outbox.iter_mut() {
+                lane.clear();
+            }
+            let (d, p) = shard.drain_round(algo, graph, cfg, k, slice, outbox);
+            drained += d;
+            processed += p;
+        }
+        // Canonical merge: ascending source shard, buffer order within —
+        // i.e. ascending global source vertex.
+        for outbox in &outboxes {
+            for (dst, entries) in outbox.iter().enumerate() {
+                shards[dst].absorb(algo, cfg, entries);
+            }
+        }
+        if cfg.record_rounds {
+            round_log.push(RoundStat {
+                key: k,
+                drained,
+                processed,
+            });
+        }
+        if fault_armed {
+            let f = cfg.fault.expect("fault_armed implies a fault plan");
+            if rounds >= f.after_rounds {
+                fault_armed = false;
+                // SRAM upset in the enqueue-key column: flip the top bit
+                // of one active vertex's tag. Real keys never have it set,
+                // so the vertex's wheel entry now always reads as stale.
+                inject_stale_fault(shards, f.pick);
+            }
+        }
+    }
+    (rounds, round_log)
+}
+
+/// Scoped-thread round driver: one worker per shard, three barriers per
+/// round (key election → drain → merge). Executes the identical per-round
+/// steps as [`drive_sequential`], in the identical order, so the two are
+/// bit-equivalent — the per-round protocol is:
+///
+/// 1. publish own next key, barrier, read the global minimum `k` (every
+///    worker computes the same minimum from the same published values);
+/// 2. advance own wheel to `k`, drain own bucket into per-target-shard
+///    outboxes (write lock on own outbox only), barrier;
+/// 3. absorb lane `i` of every outbox in ascending source-shard order
+///    (read locks), barrier, repeat.
+fn drive_threaded<A: DeltaAlgorithm, G: GraphView + Sync>(
+    algo: &A,
+    graph: &G,
+    cfg: &TurboConfig,
+    shards: &mut [Shard<A>],
+    slices: &mut [&mut [A::Value]],
+) -> (u64, Vec<RoundStat>) {
+    let s_count = shards.len();
+    let barrier = Barrier::new(s_count);
+    let next_keys: Vec<AtomicU64> = (0..s_count).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let outboxes: Vec<RwLock<Outbox<A::Delta>>> = (0..s_count)
+        .map(|_| RwLock::new(vec![Vec::new(); s_count]))
+        .collect();
+    let mut worker_stats: Vec<(u64, Vec<RoundStat>)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(s_count);
+        for (i, (shard, slice)) in shards.iter_mut().zip(slices.iter_mut()).enumerate() {
+            let barrier = &barrier;
+            let next_keys = &next_keys;
+            let outboxes = &outboxes;
+            handles.push(scope.spawn(move || {
+                let mut rounds = 0u64;
+                let mut log = Vec::new();
+                loop {
+                    next_keys[i].store(shard.next_key().unwrap_or(u64::MAX), Ordering::Relaxed);
+                    barrier.wait();
+                    // Between this barrier and the merge barrier no worker
+                    // writes next_keys, so every worker reads the same
+                    // minimum (the barrier orders the stores before the
+                    // loads).
+                    let k = next_keys
+                        .iter()
+                        .map(|a| a.load(Ordering::Relaxed))
+                        .min()
+                        .expect("at least one shard");
+                    if k == u64::MAX {
+                        break;
+                    }
+                    rounds += 1;
+                    shard.wheel.advance_to(k);
+                    let (drained, processed) = {
+                        let mut outbox = outboxes[i].write().expect("turbo outbox lock poisoned");
+                        for lane in outbox.iter_mut() {
+                            lane.clear();
+                        }
+                        shard.drain_round(algo, graph, cfg, k, slice, &mut outbox)
+                    };
+                    barrier.wait();
+                    for src in outboxes {
+                        let src = src.read().expect("turbo outbox lock poisoned");
+                        shard.absorb(algo, cfg, &src[i]);
+                    }
+                    if cfg.record_rounds {
+                        log.push(RoundStat {
+                            key: k,
+                            drained,
+                            processed,
+                        });
+                    }
+                    barrier.wait();
+                }
+                (rounds, log)
+            }));
+        }
+        for handle in handles {
+            worker_stats.push(handle.join().expect("turbo shard worker panicked"));
+        }
+    });
+    // Every worker ran the same number of global rounds; the per-round log
+    // entries sum each worker's contribution to the round's bucket.
+    let rounds = worker_stats.first().map_or(0, |(r, _)| *r);
+    debug_assert!(worker_stats.iter().all(|(r, _)| *r == rounds));
+    let mut round_log = worker_stats.pop().map_or_else(Vec::new, |(_, log)| log);
+    for (_, log) in &worker_stats {
+        debug_assert_eq!(log.len(), round_log.len());
+        for (merged, part) in round_log.iter_mut().zip(log) {
+            debug_assert_eq!(merged.key, part.key);
+            merged.drained += part.drained;
+            merged.processed += part.processed;
+        }
+    }
+    (rounds, round_log)
 }
 
 /// Runs `algo` on `graph` with the turbo executor.
@@ -260,13 +603,14 @@ fn deposit<A: DeltaAlgorithm>(
 /// events in delta-magnitude priority order (§V) from a hierarchical
 /// timing wheel, and walks each drained bucket in vertex-id order for
 /// cache-friendly CSR access. Deterministic: identical inputs give
-/// bit-identical values, counters, and round logs.
+/// bit-identical values, counters, and round logs, for **any**
+/// [`TurboConfig::shards`] count (see the module docs for the argument).
 ///
 /// # Panics
 ///
 /// Panics if `cfg.wheel_slots < 2`, `cfg.wheel_levels == 0`, or the
 /// horizon `slots^levels` overflows `u64`.
-pub fn run_turbo<A: DeltaAlgorithm, G: GraphView>(
+pub fn run_turbo<A: DeltaAlgorithm, G: GraphView + Sync>(
     algo: &A,
     graph: &G,
     cfg: &TurboConfig,
@@ -294,7 +638,7 @@ pub fn run_turbo<A: DeltaAlgorithm, G: GraphView>(
 /// Panics if `values.len() != graph.num_vertices()`, a seed vertex is out
 /// of range, `cfg.wheel_slots < 2`, `cfg.wheel_levels == 0`, or the
 /// horizon `slots^levels` overflows `u64`.
-pub fn run_turbo_seeded<A: DeltaAlgorithm, G: GraphView>(
+pub fn run_turbo_seeded<A: DeltaAlgorithm, G: GraphView + Sync>(
     algo: &A,
     graph: &G,
     values: &mut [A::Value],
@@ -303,91 +647,55 @@ pub fn run_turbo_seeded<A: DeltaAlgorithm, G: GraphView>(
 ) -> TurboOutcome {
     let n = graph.num_vertices();
     assert_eq!(values.len(), n, "state length must match the vertex count");
-    let identity = algo.identity_delta();
-    let mut pool = Pool::<A> {
-        pending: vec![identity; n],
-        active: vec![false; n],
-        enq_key: vec![0; n],
-    };
-    let mut wheel: HierarchicalWheel<u32> =
-        HierarchicalWheel::new(cfg.wheel_slots, cfg.wheel_levels);
-    let mut stats = Counters::default();
-    let mut round_log = Vec::new();
+    for &(v, _) in seeds {
+        assert!(v.index() < n, "seed vertex {v:?} out of range");
+    }
 
+    let s_count = cfg.shards.max(1).min(n.max(1));
+    let block = n.div_ceil(s_count).max(1);
+    let mut shards: Vec<Shard<A>> = (0..s_count)
+        .map(|i| {
+            let start = i * block;
+            let end = ((i + 1) * block).min(n);
+            Shard::new(algo, cfg, start as u32, end.saturating_sub(start), block)
+        })
+        .collect();
+
+    // Seed deposits in seed order, exactly as the single-shard engine
+    // would: every wheel still sits at key 0, the global floor.
     for &(v, d) in seeds {
-        deposit(algo, cfg, &mut wheel, &mut pool, &mut stats, v, d);
+        shards[v.index() / block].deposit(algo, cfg, v.get(), d);
     }
 
-    let mut fault_armed = cfg.fault.is_some();
+    let (rounds, round_log) = {
+        let mut slices: Vec<&mut [A::Value]> = Vec::with_capacity(s_count);
+        let mut rest: &mut [A::Value] = values;
+        for shard in &shards {
+            let (head, tail) = rest.split_at_mut(shard.len);
+            slices.push(head);
+            rest = tail;
+        }
+        if s_count > 1 && cfg.fault.is_none() {
+            drive_threaded(algo, graph, cfg, &mut shards, &mut slices)
+        } else {
+            drive_sequential(algo, graph, cfg, &mut shards, &mut slices)
+        }
+    };
 
-    while let Some((key, mut batch)) = wheel.drain_next() {
-        stats.rounds += 1;
-        if cfg.sort_buckets {
-            batch.sort_unstable();
-        }
-        let drained = batch.len() as u64;
-        let mut applied = 0u64;
-        for raw_v in batch {
-            let vi = raw_v as usize;
-            if !pool.active[vi] || pool.enq_key[vi] != key {
-                stats.stale += 1;
-                continue;
-            }
-            pool.active[vi] = false;
-            let delta = std::mem::replace(&mut pool.pending[vi], identity);
-            stats.processed += 1;
-            applied += 1;
-            let u = VertexId::new(raw_v);
-            let old = values[vi];
-            let new = algo.reduce(old, delta);
-            values[vi] = new;
-            if let Some(basis) = algo.propagation_basis(old, new) {
-                let degree = graph.out_degree(u);
-                for i in 0..degree {
-                    let edge = graph.out_edge(u, i);
-                    if let Some(d) = algo.propagate(basis, u, degree, edge) {
-                        deposit(algo, cfg, &mut wheel, &mut pool, &mut stats, edge.other, d);
-                    }
-                }
-            }
-        }
-        if cfg.record_rounds {
-            round_log.push(RoundStat {
-                key,
-                drained,
-                processed: applied,
-            });
-        }
-        if fault_armed {
-            let f = cfg.fault.expect("fault_armed implies a fault plan");
-            if stats.rounds >= f.after_rounds {
-                fault_armed = false;
-                // SRAM upset in the enqueue-key column: flip the top bit
-                // of one active vertex's tag. Real keys never have it set,
-                // so the vertex's wheel entry now always reads as stale.
-                let active_count = pool.active.iter().filter(|&&a| a).count();
-                if active_count > 0 {
-                    let kth = (f.pick % active_count as u64) as usize;
-                    let victim = pool
-                        .active
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, &a)| a)
-                        .nth(kth)
-                        .map(|(i, _)| i)
-                        .expect("kth < active_count");
-                    pool.enq_key[victim] ^= 1 << 63;
-                }
-            }
-        }
+    let mut stats = Counters::default();
+    for shard in &shards {
+        stats.add(&shard.stats);
     }
-
-    let orphaned: Vec<u32> = pool
-        .active
+    let orphaned: Vec<u32> = shards
         .iter()
-        .enumerate()
-        .filter(|(_, &a)| a)
-        .map(|(i, _)| i as u32)
+        .flat_map(|s| {
+            s.pool
+                .active
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a)
+                .map(|(i, _)| s.start + i as u32)
+        })
         .collect();
 
     TurboOutcome {
@@ -398,7 +706,7 @@ pub fn run_turbo_seeded<A: DeltaAlgorithm, G: GraphView>(
         stale_entries: stats.stale,
         reschedules: stats.reschedules,
         overflow_handoffs: stats.overflows,
-        rounds: stats.rounds,
+        rounds,
         orphaned,
         round_log,
     }
@@ -489,6 +797,50 @@ mod tests {
         let bits = |o: &TurboOutcome| o.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&a), bits(&b));
         assert_eq!(a.render_log(), b.render_log());
+    }
+
+    #[test]
+    fn sharded_runs_are_bit_identical_to_single_shard() {
+        let g = rmat(&RmatConfig::graph500(256, 2_048), 21);
+        let pr = PageRankDelta::new(0.85, 1e-7);
+        let base = run_turbo(
+            &pr,
+            &g,
+            &TurboConfig {
+                record_rounds: true,
+                ..TurboConfig::default()
+            },
+        );
+        for shards in [2, 3, 4, 7] {
+            let out = run_turbo(
+                &pr,
+                &g,
+                &TurboConfig {
+                    shards,
+                    record_rounds: true,
+                    ..TurboConfig::default()
+                },
+            );
+            assert_eq!(
+                out.render_log(),
+                base.render_log(),
+                "{shards} shards: log diverged"
+            );
+            let bits = |o: &TurboOutcome| o.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&out), bits(&base), "{shards} shards: values diverged");
+        }
+    }
+
+    #[test]
+    fn shards_beyond_vertex_count_are_clamped() {
+        let g = erdos_renyi(3, 6, WeightMode::Unweighted, 1);
+        let cfg = TurboConfig {
+            shards: 64,
+            ..TurboConfig::default()
+        };
+        let out = run_turbo(&ConnectedComponents::new(), &g, &cfg);
+        let base = run_turbo(&ConnectedComponents::new(), &g, &TurboConfig::default());
+        assert_eq!(out.values, base.values);
     }
 
     #[test]

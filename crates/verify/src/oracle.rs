@@ -249,6 +249,53 @@ where
         ));
     }
 
+    // Sharded turbo (oracle leg: differential-turbo-sharded): the vertex-
+    // sharded engine must be bit-identical to the single-shard run at
+    // every shard count — values and every counter — because the global
+    // round schedule and the canonical (bucket, shard, seq) merge are
+    // functions of the key sequence alone, not of the partition.
+    for shards in [2usize, 4] {
+        let ts = run_turbo(
+            algo,
+            g,
+            &TurboConfig {
+                shards,
+                ..turbo_cfg
+            },
+        );
+        if ts
+            .values
+            .iter()
+            .map(|v| v.to_bits())
+            .ne(t1.values.iter().map(|v| v.to_bits()))
+            || ts.events_processed != t1.events_processed
+            || ts.events_generated != t1.events_generated
+            || ts.events_coalesced != t1.events_coalesced
+            || ts.stale_entries != t1.stale_entries
+            || ts.reschedules != t1.reschedules
+            || ts.overflow_handoffs != t1.overflow_handoffs
+            || ts.rounds != t1.rounds
+        {
+            return Err(fail(
+                "differential-turbo-sharded",
+                format!(
+                    "turbo at {shards} shards diverged from single-shard \
+                     (processed {} vs {}, generated {} vs {}, stale {} vs {}, \
+                     rounds {} vs {}, max |value diff| {:e})",
+                    ts.events_processed,
+                    t1.events_processed,
+                    ts.events_generated,
+                    t1.events_generated,
+                    ts.stale_entries,
+                    t1.stale_entries,
+                    ts.rounds,
+                    t1.rounds,
+                    gp_algorithms::max_abs_diff(&ts.values, &t1.values),
+                ),
+            ));
+        }
+    }
+
     // Cycle-level accelerator, twice: functional agreement + determinism.
     let cfg = case.machine.to_config();
     let run = |label: &str| {

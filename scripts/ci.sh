@@ -72,18 +72,30 @@ TURBO_LOG2=12 cargo bench -q -p gp-bench --bench end_to_end -- \
 cargo run --release -q -p gp-bench --bin bench_check -- \
   /tmp/gp-bench-e2e.json BENCH_end_to_end.json
 
-echo "== serve smoke (query service under live updates, every sample vs golden) =="
+echo "== sharded-turbo differential smoke (2 shards vs golden, full oracle) =="
+# The differential-turbo-sharded oracle leg re-runs every corpus case's
+# turbo execution at 2 and 4 vertex shards and demands bit-identical
+# values AND counters against the single-shard run; the fuzz smoke above
+# already sweeps it, and this pins a second fixed slice at a different
+# master seed so a determinism break in the sharded engine cannot hide
+# behind one lucky corpus.
+cargo run --release -q -p gp-bench --bin fuzz -- --seed 19 --iters 25
+
+echo "== serve smoke (executor pool + sharded engine, every sample vs golden) =="
 # Fixed-seed load run on a 2^14 R-MAT: four client threads race mixed
-# queries against an updater publishing epochs mid-run. --verify-all makes
-# the bench cross-check every sampled response against a sequential golden
-# recompute on the exact epoch the response named — bit-exact for the
-# monotone classes, within tolerance for PageRank. Exit 1 on any mismatch.
+# queries against an updater publishing epochs mid-run, served by a
+# two-executor pool with every turbo run at two vertex shards.
+# --verify-all makes the bench cross-check every sampled response against
+# a sequential golden recompute on the exact epoch the response named —
+# bit-exact for the monotone classes, within tolerance for PageRank.
+# Exit 1 on any mismatch.
 cargo run --release -q -p gp-bench --bin serve_bench -- \
   --seed 11 --vertices 16384 --queries 20000 --batches 8 \
+  --executors 2 --turbo-shards 2 \
   --sample-every 64 --verify-all --out /tmp/gp-serve-smoke.json
-# The fresh run and the committed full-scale record must both satisfy the
-# gp-bench/serve/v1 schema (golden checks ran and passed, per-class
-# latency quantiles present and ordered).
+# The fresh run and the committed full-scale sweep must both satisfy the
+# gp-bench/serve/v2 schema (non-empty executor sweep, golden checks ran
+# and passed per run, per-class latency quantiles present and ordered).
 cargo run --release -q -p gp-bench --bin bench_check -- \
   /tmp/gp-serve-smoke.json BENCH_serve.json
 
