@@ -10,25 +10,31 @@
 //! keys, positive throughput on both backends), `gp-bench/chaos/v1`
 //! documents through `gp_bench::json::validate_chaos` (every scenario
 //! detected and recovered, overhead baselines bit-exact, summary present),
-//! and `gp-bench/serve/v2` documents through `gp_bench::json::validate_serve`
+//! `gp-bench/serve/v2` documents through `gp_bench::json::validate_serve`
 //! (non-empty executor sweep, ordered per-class latency quantiles per run,
-//! golden cross-checks ran and passed). CI runs this so the bench binaries
-//! can never silently stop emitting measurements.
+//! golden cross-checks ran and passed), and `gp-bench/outofcore/v1`
+//! documents through `gp_bench::json::validate_outofcore` (consistent
+//! bytes-moved-per-edge accounting, positive throughput on both engines,
+//! turbo within tolerance of golden, and — when a resident-memory budget
+//! was enforced — a mapped working state that fits where the fully
+//! resident graph cannot). CI runs this so the bench binaries can never
+//! silently stop emitting measurements.
 //!
 //! Exit status: 0 when every file passes, 1 when a file fails its schema's
 //! validation, 2 on a bad invocation or an unknown schema tag (the
 //! diagnostic names the known tags).
 
 use gp_bench::json::{
-    validate_chaos, validate_end_to_end, validate_serve, Json, CHAOS_SCHEMA, END_TO_END_SCHEMA,
-    SERVE_SCHEMA,
+    validate_chaos, validate_end_to_end, validate_outofcore, validate_serve, Json, CHAOS_SCHEMA,
+    END_TO_END_SCHEMA, OUTOFCORE_SCHEMA, SERVE_SCHEMA,
 };
 
 const USAGE: &str = "\
 Usage: bench_check <BENCH_*.json> [more.json ...]
 
 Validates machine-readable bench output against its embedded schema tag.
-Known schemas: gp-bench/end_to_end/v1, gp-bench/chaos/v1, gp-bench/serve/v2.
+Known schemas: gp-bench/end_to_end/v1, gp-bench/chaos/v1, gp-bench/serve/v2,
+gp-bench/outofcore/v1.
 
 Exit status: 0 when every file passes, 1 on a validation failure, 2 on a
 bad invocation or an unknown schema tag.";
@@ -65,10 +71,12 @@ fn check(path: &str) -> Result<(), CheckError> {
         END_TO_END_SCHEMA => (validate_end_to_end, "entries"),
         CHAOS_SCHEMA => (validate_chaos, "scenarios"),
         SERVE_SCHEMA => (validate_serve, "runs"),
+        OUTOFCORE_SCHEMA => (validate_outofcore, "entries"),
         other => {
             return Err(CheckError::unusable(format!(
                 "`{path}` has unknown schema {other:?} \
-                 (known: {END_TO_END_SCHEMA:?}, {CHAOS_SCHEMA:?}, {SERVE_SCHEMA:?})"
+                 (known: {END_TO_END_SCHEMA:?}, {CHAOS_SCHEMA:?}, {SERVE_SCHEMA:?}, \
+                 {OUTOFCORE_SCHEMA:?})"
             )))
         }
     };

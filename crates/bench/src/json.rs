@@ -399,6 +399,9 @@ pub const CHAOS_SCHEMA: &str = "gp-bench/chaos/v1";
 /// Schema tag `validate_serve` requires.
 pub const SERVE_SCHEMA: &str = "gp-bench/serve/v2";
 
+/// Schema tag `validate_outofcore` requires.
+pub const OUTOFCORE_SCHEMA: &str = "gp-bench/outofcore/v1";
+
 /// Validates a `BENCH_serve.json` document: schema tag, positive graph,
 /// traffic, and `turbo_shards` fields, and a non-empty `runs` sweep (one
 /// entry per executor count). Each run must carry a positive `executors`
@@ -673,6 +676,194 @@ pub fn validate_chaos(doc: &Json) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// Validates a `BENCH_outofcore.json` document: schema tag, positive
+/// generator parameters, and a non-empty per-scale entry list. Every
+/// entry must carry the container geometry (positive vertex, edge, and
+/// byte counts), the analytic fully-resident footprint next to the
+/// measured mapped working state, and a non-empty per-algorithm table
+/// whose traffic accounting is internally consistent
+/// (`bytes_moved = rowptr_bytes + edge_bytes`,
+/// `bytes_per_edge = bytes_moved / edges_read`) with positive event
+/// throughput on both the golden engine and turbo, and turbo answers
+/// within the algorithm's tolerance of golden (`turbo_ok`). When a
+/// resident-memory budget was enforced (`budget_mb > 0`), every entry's
+/// mapped working state must fit under it and at least one entry's
+/// resident footprint must exceed it — otherwise the run demonstrated
+/// nothing about out-of-core execution.
+///
+/// # Errors
+///
+/// Returns a readable description of the first violated rule.
+pub fn validate_outofcore(doc: &Json) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string key \"schema\"")?;
+    if schema != OUTOFCORE_SCHEMA {
+        return Err(format!(
+            "schema is {schema:?}, expected {OUTOFCORE_SCHEMA:?}"
+        ));
+    }
+    doc.get("seed")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric key \"seed\"")?;
+    for key in ["edge_factor", "slice_vertices"] {
+        let v = doc
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric key {key:?}"))?;
+        if v <= 0.0 {
+            return Err(format!("{key} must be positive, got {v}"));
+        }
+    }
+    let budget_mb = doc
+        .get("budget_mb")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric key \"budget_mb\"")?;
+    if budget_mb < 0.0 {
+        return Err(format!("budget_mb must be >= 0, got {budget_mb}"));
+    }
+    let budget_bytes = budget_mb * (1u64 << 20) as f64;
+
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("missing array key \"entries\"")?;
+    if entries.is_empty() {
+        return Err("\"entries\" is empty — the bench measured no scale".into());
+    }
+    let mut resident_over_budget = false;
+    for (i, entry) in entries.iter().enumerate() {
+        let ctx = |msg: String| format!("entry {i}: {msg}");
+        for key in [
+            "log2_vertices",
+            "vertices",
+            "edges",
+            "container_bytes",
+            "resident_graph_bytes",
+            "mapped_state_bytes",
+        ] {
+            let v = entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ctx(format!("missing numeric key {key:?}")))?;
+            if v <= 0.0 {
+                return Err(ctx(format!("{key} must be positive, got {v}")));
+            }
+        }
+        let build = entry
+            .get("build_secs")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ctx("missing numeric key \"build_secs\"".into()))?;
+        if build < 0.0 {
+            return Err(ctx(format!("build_secs must be >= 0, got {build}")));
+        }
+        for key in ["weighted", "kernel_mapped"] {
+            match entry.get(key) {
+                Some(Json::Bool(_)) => {}
+                _ => return Err(ctx(format!("missing boolean key {key:?}"))),
+            }
+        }
+        let resident = entry
+            .get("resident_graph_bytes")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let mapped_state = entry
+            .get("mapped_state_bytes")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        if budget_mb > 0.0 {
+            if mapped_state > budget_bytes {
+                return Err(ctx(format!(
+                    "mapped_state_bytes {mapped_state} exceeds the {budget_mb} MiB budget \
+                     — the out-of-core path did not fit"
+                )));
+            }
+            if resident > budget_bytes {
+                resident_over_budget = true;
+            }
+        }
+        let algos = entry
+            .get("algos")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ctx("missing array key \"algos\"".into()))?;
+        if algos.is_empty() {
+            return Err(ctx("\"algos\" is empty — no algorithm was measured".into()));
+        }
+        for (j, a) in algos.iter().enumerate() {
+            validate_outofcore_algo(a).map_err(|e| ctx(format!("algo {j}: {e}")))?;
+        }
+    }
+    if budget_mb > 0.0 && !resident_over_budget {
+        return Err(format!(
+            "budget_mb is {budget_mb} but no entry's resident_graph_bytes exceeds it \
+             — the budget demonstrates nothing"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates one per-algorithm row of an out-of-core entry.
+fn validate_outofcore_algo(a: &Json) -> Result<(), String> {
+    a.get("algo")
+        .and_then(Json::as_str)
+        .ok_or("missing string key \"algo\"")?;
+    for key in [
+        "events_processed",
+        "events_per_sec",
+        "edges_read",
+        "bytes_moved",
+        "bytes_per_edge",
+        "turbo_events_per_sec",
+    ] {
+        let v = a
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric key {key:?}"))?;
+        if v <= 0.0 {
+            return Err(format!("{key} must be positive, got {v}"));
+        }
+    }
+    for key in [
+        "wall_secs",
+        "rowptr_bytes",
+        "edge_bytes",
+        "turbo_wall_secs",
+        "turbo_max_abs_diff",
+    ] {
+        let v = a
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric key {key:?}"))?;
+        if v < 0.0 {
+            return Err(format!("{key} must be >= 0, got {v}"));
+        }
+    }
+    let num = |key: &str| a.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let moved = num("bytes_moved");
+    let parts = num("rowptr_bytes") + num("edge_bytes");
+    if moved != parts {
+        return Err(format!(
+            "bytes_moved is {moved} but rowptr_bytes + edge_bytes is {parts}"
+        ));
+    }
+    let per_edge = num("bytes_per_edge");
+    let expect = moved / num("edges_read");
+    if (per_edge - expect).abs() > 1e-9 * expect.max(1.0) {
+        return Err(format!(
+            "bytes_per_edge is {per_edge} but bytes_moved / edges_read is {expect}"
+        ));
+    }
+    match a.get("turbo_ok") {
+        Some(Json::Bool(true)) => Ok(()),
+        Some(Json::Bool(false)) => Err(
+            "turbo_ok is false — turbo over the mapping diverged from golden beyond tolerance"
+                .into(),
+        ),
+        _ => Err("missing boolean key \"turbo_ok\"".into()),
+    }
 }
 
 #[cfg(test)]
@@ -1129,5 +1320,162 @@ mod tests {
         assert!(validate_chaos(&missing_summary)
             .unwrap_err()
             .contains("summary"));
+    }
+
+    fn sample_outofcore_algo() -> Json {
+        Json::obj([
+            ("algo", Json::Str("pagerank-delta".into())),
+            ("wall_secs", Json::Num(2.0)),
+            ("events_processed", Json::Num(4000.0)),
+            ("events_per_sec", Json::Num(2000.0)),
+            ("edges_read", Json::Num(8000.0)),
+            ("rowptr_bytes", Json::Num(48000.0)),
+            ("edge_bytes", Json::Num(32000.0)),
+            ("bytes_moved", Json::Num(80000.0)),
+            ("bytes_per_edge", Json::Num(10.0)),
+            ("turbo_wall_secs", Json::Num(0.5)),
+            ("turbo_events_per_sec", Json::Num(8000.0)),
+            ("turbo_max_abs_diff", Json::Num(0.0)),
+            ("turbo_ok", Json::Bool(true)),
+        ])
+    }
+
+    fn sample_outofcore_doc(budget_mb: f64) -> Json {
+        Json::obj([
+            ("schema", Json::Str(OUTOFCORE_SCHEMA.into())),
+            ("seed", Json::Num(42.0)),
+            ("edge_factor", Json::Num(8.0)),
+            ("slice_vertices", Json::Num(65536.0)),
+            ("budget_mb", Json::Num(budget_mb)),
+            (
+                "entries",
+                Json::Arr(vec![Json::obj([
+                    ("log2_vertices", Json::Num(20.0)),
+                    ("vertices", Json::Num(1048576.0)),
+                    ("edges", Json::Num(8388608.0)),
+                    ("weighted", Json::Bool(true)),
+                    ("container_bytes", Json::Num(75497728.0)),
+                    ("build_secs", Json::Num(3.5)),
+                    ("kernel_mapped", Json::Bool(true)),
+                    ("resident_graph_bytes", Json::Num(142606344.0)),
+                    ("mapped_state_bytes", Json::Num(8912896.0)),
+                    ("algos", Json::Arr(vec![sample_outofcore_algo()])),
+                ])]),
+            ),
+        ])
+    }
+
+    fn with_algo_field(mut doc: Json, key: &str, value: Json) -> Json {
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "entries" {
+                    if let Json::Arr(entries) = v {
+                        if let Json::Obj(fields) = &mut entries[0] {
+                            for (fk, fv) in fields.iter_mut() {
+                                if fk == "algos" {
+                                    if let Json::Arr(algos) = fv {
+                                        if let Json::Obj(af) = &mut algos[0] {
+                                            for (ak, av) in af.iter_mut() {
+                                                if ak == key {
+                                                    *av = value.clone();
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        doc
+    }
+
+    fn with_entry_field(mut doc: Json, key: &str, value: Json) -> Json {
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "entries" {
+                    if let Json::Arr(entries) = v {
+                        if let Json::Obj(fields) = &mut entries[0] {
+                            for (fk, fv) in fields.iter_mut() {
+                                if fk == key {
+                                    *fv = value.clone();
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        doc
+    }
+
+    #[test]
+    fn outofcore_validator_accepts_complete_documents() {
+        // No budget, and a budget the resident footprint exceeds while the
+        // mapped working state fits.
+        validate_outofcore(&sample_outofcore_doc(0.0)).unwrap();
+        validate_outofcore(&sample_outofcore_doc(64.0)).unwrap();
+    }
+
+    #[test]
+    fn outofcore_validator_rejects_inconsistent_documents() {
+        let wrong_schema = Json::obj([
+            ("schema", Json::Str("other/v9".into())),
+            ("seed", Json::Num(1.0)),
+        ]);
+        assert!(validate_outofcore(&wrong_schema)
+            .unwrap_err()
+            .contains("schema"));
+
+        // Traffic accounting must balance.
+        let err = validate_outofcore(&with_algo_field(
+            sample_outofcore_doc(0.0),
+            "bytes_moved",
+            Json::Num(80001.0),
+        ))
+        .unwrap_err();
+        assert!(err.contains("rowptr_bytes + edge_bytes"), "{err}");
+
+        // bytes_per_edge must be bytes_moved / edges_read.
+        let err = validate_outofcore(&with_algo_field(
+            sample_outofcore_doc(0.0),
+            "bytes_per_edge",
+            Json::Num(11.0),
+        ))
+        .unwrap_err();
+        assert!(err.contains("bytes_moved / edges_read"), "{err}");
+
+        // A turbo divergence must fail the document.
+        let err = validate_outofcore(&with_algo_field(
+            sample_outofcore_doc(0.0),
+            "turbo_ok",
+            Json::Bool(false),
+        ))
+        .unwrap_err();
+        assert!(err.contains("turbo_ok is false"), "{err}");
+
+        // Under a budget, the mapped working state must fit...
+        let err = validate_outofcore(&with_entry_field(
+            sample_outofcore_doc(64.0),
+            "mapped_state_bytes",
+            Json::Num(128.0 * 1024.0 * 1024.0),
+        ))
+        .unwrap_err();
+        assert!(err.contains("exceeds the 64 MiB budget"), "{err}");
+
+        // ...and the budget must actually exclude the resident path.
+        let err = validate_outofcore(&sample_outofcore_doc(1024.0)).unwrap_err();
+        assert!(err.contains("demonstrates nothing"), "{err}");
+
+        // An entry that measured no algorithm is a dead entry.
+        let err = validate_outofcore(&with_entry_field(
+            sample_outofcore_doc(0.0),
+            "algos",
+            Json::Arr(vec![]),
+        ))
+        .unwrap_err();
+        assert!(err.contains("\"algos\" is empty"), "{err}");
     }
 }

@@ -7,8 +7,8 @@ use crate::{CsrGraph, VertexId};
 /// A non-consuming builder (configuration methods take `&mut self`); the
 /// terminal [`GraphBuilder::build`] consumes the accumulated edges.
 ///
-/// * `dedup(true)` (default) removes parallel edges, keeping the first
-///   weight in neighbor-sorted order.
+/// * `dedup(true)` (default) removes parallel edges, keeping the
+///   first-added weight (stable sort, then keep-first).
 /// * `drop_self_loops(true)` (default) removes `v -> v` edges, which
 ///   delta-accumulative algorithms treat as no-ops anyway.
 /// * `symmetric(true)` inserts the reverse of every edge (social-network
@@ -115,7 +115,12 @@ impl GraphBuilder {
         if self.drop_self_loops {
             edges.retain(|&(s, d, _)| s != d);
         }
-        edges.sort_unstable_by_key(|e| (e.0, e.1));
+        // Stable sort: among parallel edges, dedup keeps the *first added*,
+        // which is the canonical keep-first semantics the out-of-core
+        // streaming container builder reproduces without ever holding the
+        // full edge list (it spills generation-ordered runs and stable-sorts
+        // per bucket, so "first in sorted order" means the same edge there).
+        edges.sort_by_key(|e| (e.0, e.1));
         if self.dedup {
             edges.dedup_by_key(|e| (e.0, e.1));
         }

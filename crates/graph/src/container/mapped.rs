@@ -1,0 +1,354 @@
+//! [`MappedCsr`]: a [`GraphView`] served directly from a mapped container.
+
+use std::fs::File;
+use std::path::Path;
+
+use super::mmap::Mapping;
+use super::{
+    digest_of, Header, SliceExtent, HEADER_BYTES, SEGMENT_ALIGN, SEG_COUNT, SEG_IN_NEIGHBORS,
+    SEG_IN_ROWPTR, SEG_IN_WEIGHTS, SEG_NAMES, SEG_OUT_NEIGHBORS, SEG_OUT_ROWPTR, SEG_OUT_WEIGHTS,
+    SEG_SLICE_INDEX, SLICE_ENTRY_BYTES,
+};
+use crate::io::ReadGraphError;
+use crate::{CsrGraph, EdgeRef, GraphView, VertexId};
+
+/// A disk-resident CSR graph opened from a container file.
+///
+/// Implements [`GraphView`] by decoding little-endian words straight out of
+/// the mapped segments — no resident arrays, no alignment requirement on
+/// the mapping (every access goes through `from_le_bytes` on a 4-byte
+/// window). The resident footprint of an open graph is the struct itself
+/// plus whatever pages the OS keeps warm; the golden engines, the
+/// slice-swapping machinery, and turbo all run against it unmodified.
+///
+/// [`MappedCsr::open`] performs *structural* validation: magic, version,
+/// header digest, segment alignment and extents, row-pointer monotonicity
+/// for both directions, and slice-index consistency. It does **not** read
+/// the edge segments (that would fault in the whole file);
+/// [`MappedCsr::open_verified`] additionally recomputes every segment
+/// digest for end-to-end integrity at the cost of one full scan.
+#[derive(Debug)]
+pub struct MappedCsr {
+    map: Mapping,
+    num_vertices: usize,
+    num_edges: usize,
+    weighted: bool,
+    seg_bounds: [(usize, usize); SEG_COUNT],
+    seg_digests: [u64; SEG_COUNT],
+    slices: Vec<SliceExtent>,
+}
+
+/// Little-endian `u32` at element `index` of a 4-byte-record segment.
+#[inline]
+fn u32_at(seg: &[u8], index: usize) -> u32 {
+    let at = index * 4;
+    u32::from_le_bytes(seg[at..at + 4].try_into().expect("validated extent"))
+}
+
+impl MappedCsr {
+    /// Opens and structurally validates a container.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadGraphError::Io`] on filesystem failure, otherwise the typed
+    /// corruption taxonomy: [`ReadGraphError::BadMagic`] /
+    /// [`ReadGraphError::BadVersion`] / [`ReadGraphError::Truncated`] /
+    /// [`ReadGraphError::Misaligned`] / [`ReadGraphError::ChecksumMismatch`]
+    /// (header digest only at this level) / [`ReadGraphError::Corrupt`].
+    pub fn open(path: &Path) -> Result<MappedCsr, ReadGraphError> {
+        let file = File::open(path).map_err(ReadGraphError::Io)?;
+        let map = Mapping::map(&file).map_err(ReadGraphError::Io)?;
+        MappedCsr::from_mapping(map)
+    }
+
+    /// [`MappedCsr::open`] plus a full recomputation of every segment
+    /// digest ([`MappedCsr::verify_checksums`]).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`MappedCsr::open`] returns, plus
+    /// [`ReadGraphError::ChecksumMismatch`] naming any segment whose bytes
+    /// no longer match the header digest.
+    pub fn open_verified(path: &Path) -> Result<MappedCsr, ReadGraphError> {
+        let g = MappedCsr::open(path)?;
+        g.verify_checksums()?;
+        Ok(g)
+    }
+
+    fn from_mapping(map: Mapping) -> Result<MappedCsr, ReadGraphError> {
+        let bytes = map.bytes();
+        let header = Header::decode(bytes)?;
+        let file_len = bytes.len() as u64;
+
+        let n64 = header.num_vertices;
+        let m64 = header.num_edges;
+        if n64 > u64::from(u32::MAX) || m64 > u64::from(u32::MAX) {
+            return Err(ReadGraphError::Corrupt(format!(
+                "container claims {n64} vertices / {m64} edges, beyond the u32 id space"
+            )));
+        }
+        let n = n64 as usize;
+        let m = m64 as usize;
+
+        // Expected byte length of each segment, in file order.
+        let wlen = if header.weighted { m64 * 4 } else { 0 };
+        let expected_len: [u64; SEG_COUNT] = [
+            (n64 + 1) * 4,
+            m64 * 4,
+            wlen,
+            (n64 + 1) * 4,
+            m64 * 4,
+            wlen,
+            u64::from(header.slice_count) * SLICE_ENTRY_BYTES,
+        ];
+
+        let mut seg_bounds = [(0usize, 0usize); SEG_COUNT];
+        let mut seg_digests = [0u64; SEG_COUNT];
+        let mut prev_end = HEADER_BYTES;
+        for i in 0..SEG_COUNT {
+            let seg = header.segments[i];
+            let name = SEG_NAMES[i];
+            if seg.len != expected_len[i] {
+                return Err(ReadGraphError::Misaligned(format!(
+                    "segment {name} is {} bytes, header geometry requires {}",
+                    seg.len, expected_len[i]
+                )));
+            }
+            if seg.offset % SEGMENT_ALIGN != 0 {
+                return Err(ReadGraphError::Misaligned(format!(
+                    "segment {name} at offset {} breaks the {SEGMENT_ALIGN}-byte alignment",
+                    seg.offset
+                )));
+            }
+            if seg.offset < prev_end {
+                return Err(ReadGraphError::Misaligned(format!(
+                    "segment {name} at offset {} overlaps the previous region ending at {prev_end}",
+                    seg.offset
+                )));
+            }
+            let end = seg.offset.checked_add(seg.len).ok_or_else(|| {
+                ReadGraphError::Misaligned(format!("segment {name} extent overflows"))
+            })?;
+            if end > file_len {
+                return Err(ReadGraphError::Truncated);
+            }
+            seg_bounds[i] = (seg.offset as usize, end as usize);
+            seg_digests[i] = seg.digest;
+            prev_end = end;
+        }
+
+        let graph = MappedCsr {
+            map,
+            num_vertices: n,
+            num_edges: m,
+            weighted: header.weighted,
+            seg_bounds,
+            seg_digests,
+            slices: Vec::new(),
+        };
+
+        // Row pointers must be monotone and end exactly at num_edges, in
+        // both directions; this is what makes the panic-free GraphView
+        // accessors sound.
+        for (seg, dir) in [(SEG_OUT_ROWPTR, "out"), (SEG_IN_ROWPTR, "in")] {
+            let rowptr = graph.seg(seg);
+            let mut prev = u32_at(rowptr, 0);
+            if prev != 0 {
+                return Err(ReadGraphError::Corrupt(format!(
+                    "{dir} row pointers start at {prev}, expected 0"
+                )));
+            }
+            for v in 1..=n {
+                let cur = u32_at(rowptr, v);
+                if cur < prev {
+                    return Err(ReadGraphError::Corrupt(format!(
+                        "{dir} row pointers not monotone at vertex {v} ({cur} < {prev})"
+                    )));
+                }
+                prev = cur;
+            }
+            if prev as usize != m {
+                return Err(ReadGraphError::Corrupt(format!(
+                    "{dir} row pointers end at {prev}, header claims {m} edges"
+                )));
+            }
+        }
+
+        // Decode and sanity-check the slice index (small: one entry per
+        // slice, not per vertex).
+        let raw = graph.seg(SEG_SLICE_INDEX);
+        let mut slices = Vec::with_capacity(header.slice_count as usize);
+        for s in 0..header.slice_count as usize {
+            let at = s * SLICE_ENTRY_BYTES as usize;
+            let f = |o: usize| u64::from_le_bytes(raw[at + o..at + o + 8].try_into().unwrap());
+            slices.push(SliceExtent {
+                start: f(0),
+                end: f(8),
+                edge_start: f(16),
+                edge_end: f(24),
+            });
+        }
+        let rowptr = graph.seg(SEG_OUT_ROWPTR);
+        let mut cursor = 0u64;
+        let mut edge_cursor = 0u64;
+        for (i, s) in slices.iter().enumerate() {
+            let rows_ok = s.start == cursor && s.end > s.start && s.end <= n64;
+            let edges_ok = s.edge_start == edge_cursor
+                && s.edge_start == u64::from(u32_at(rowptr, s.start as usize))
+                && s.edge_end == u64::from(u32_at(rowptr, s.end as usize));
+            if !rows_ok || !edges_ok {
+                return Err(ReadGraphError::Corrupt(format!(
+                    "slice {i} ({s:?}) does not tile the vertex/edge space"
+                )));
+            }
+            cursor = s.end;
+            edge_cursor = s.edge_end;
+        }
+        if header.slice_count > 0 && (cursor != n64 || edge_cursor != m64) {
+            return Err(ReadGraphError::Corrupt(format!(
+                "slice index covers {cursor}/{n64} vertices, {edge_cursor}/{m64} edges"
+            )));
+        }
+        if header.slice_count == 0 && n > 0 {
+            return Err(ReadGraphError::Corrupt(
+                "non-empty graph with an empty slice index".into(),
+            ));
+        }
+
+        Ok(MappedCsr { slices, ..graph })
+    }
+
+    /// Recomputes every segment digest against the header.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadGraphError::ChecksumMismatch`] naming the first segment whose
+    /// bytes disagree with the digest stored in the header.
+    pub fn verify_checksums(&self) -> Result<(), ReadGraphError> {
+        for (i, (&stored, name)) in self.seg_digests.iter().zip(SEG_NAMES).enumerate() {
+            let computed = digest_of(self.seg(i));
+            if computed != stored {
+                return Err(ReadGraphError::ChecksumMismatch(format!(
+                    "segment {name} digest {computed:#018x} != stored {stored:#018x}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn seg(&self, i: usize) -> &[u8] {
+        let (lo, hi) = self.seg_bounds[i];
+        &self.map.bytes()[lo..hi]
+    }
+
+    /// The per-slice index stored in the container: contiguous vertex
+    /// ranges with their out-edge extents, matching
+    /// [`Partition::contiguous`](crate::partition::Partition::contiguous)
+    /// over this graph at the writer's slice capacity.
+    pub fn slice_extents(&self) -> &[SliceExtent] {
+        &self.slices
+    }
+
+    /// Total size of the backing file in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.map.bytes().len() as u64
+    }
+
+    /// Whether the bytes are served by a kernel file mapping (`false`
+    /// means the portability fallback read the file onto the heap).
+    pub fn is_kernel_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    /// Materializes a fully-resident [`CsrGraph`] with identical topology
+    /// and weights — the bridge the differential oracle uses to pin
+    /// mapped ≡ resident.
+    pub fn to_csr(&self) -> CsrGraph {
+        let n = self.num_vertices;
+        let m = self.num_edges;
+        let rowptr = self.seg(SEG_OUT_ROWPTR);
+        let neigh = self.seg(SEG_OUT_NEIGHBORS);
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        for v in 0..=n {
+            out_offsets.push(u32_at(rowptr, v));
+        }
+        let mut out_neighbors = Vec::with_capacity(m);
+        for e in 0..m {
+            out_neighbors.push(VertexId::new(u32_at(neigh, e)));
+        }
+        let out_weights = if self.weighted {
+            let w = self.seg(SEG_OUT_WEIGHTS);
+            (0..m).map(|e| f32::from_bits(u32_at(w, e))).collect()
+        } else {
+            vec![1.0; m]
+        };
+        CsrGraph::from_parts(
+            n as u32,
+            out_offsets,
+            out_neighbors,
+            out_weights,
+            self.weighted,
+        )
+    }
+
+    #[inline]
+    fn edge_at(&self, neigh_seg: usize, weight_seg: usize, idx: usize) -> EdgeRef {
+        let other = VertexId::new(u32_at(self.seg(neigh_seg), idx));
+        let weight = if self.weighted {
+            f32::from_bits(u32_at(self.seg(weight_seg), idx))
+        } else {
+            1.0
+        };
+        EdgeRef { other, weight }
+    }
+
+    #[inline]
+    fn rowptr_pair(&self, rowptr_seg: usize, v: VertexId) -> (usize, usize) {
+        let seg = self.seg(rowptr_seg);
+        let lo = u32_at(seg, v.index()) as usize;
+        let hi = u32_at(seg, v.index() + 1) as usize;
+        (lo, hi)
+    }
+}
+
+impl GraphView for MappedCsr {
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    fn out_degree(&self, v: VertexId) -> u32 {
+        let (lo, hi) = self.rowptr_pair(SEG_OUT_ROWPTR, v);
+        (hi - lo) as u32
+    }
+
+    fn out_edge(&self, v: VertexId, i: u32) -> EdgeRef {
+        let (lo, hi) = self.rowptr_pair(SEG_OUT_ROWPTR, v);
+        let idx = lo + i as usize;
+        assert!(idx < hi, "edge index {i} out of range for {v}");
+        self.edge_at(SEG_OUT_NEIGHBORS, SEG_OUT_WEIGHTS, idx)
+    }
+
+    fn out_edge_base(&self, v: VertexId) -> usize {
+        u32_at(self.seg(SEG_OUT_ROWPTR), v.index()) as usize
+    }
+
+    fn in_degree(&self, v: VertexId) -> u32 {
+        let (lo, hi) = self.rowptr_pair(SEG_IN_ROWPTR, v);
+        (hi - lo) as u32
+    }
+
+    fn in_edge(&self, v: VertexId, i: u32) -> EdgeRef {
+        let (lo, hi) = self.rowptr_pair(SEG_IN_ROWPTR, v);
+        let idx = lo + i as usize;
+        assert!(idx < hi, "edge index {i} out of range for {v}");
+        self.edge_at(SEG_IN_NEIGHBORS, SEG_IN_WEIGHTS, idx)
+    }
+}

@@ -1,0 +1,191 @@
+//! Read-only memory mapping, the only `unsafe` code in the crate.
+//!
+//! The workspace is hermetic (no external crates), so instead of `memmap2`
+//! we declare the two libc symbols we need — `mmap` / `munmap` — directly;
+//! std already links libc on every unix target. All unsafety is confined
+//! to this module: the rest of the container code sees a [`Mapping`] as a
+//! plain `&[u8]`.
+//!
+//! On non-unix targets (and whenever `mmap` fails, e.g. on a filesystem
+//! that cannot map) we fall back to reading the file into an anonymous
+//! heap buffer, trading residency for portability; callers cannot observe
+//! the difference except through memory footprint.
+
+use std::fs::File;
+use std::io::{self, Read};
+
+/// A read-only byte image of a file, memory-mapped when the platform
+/// allows it and heap-buffered otherwise.
+///
+/// # Caveats
+///
+/// Like every file mapping, the kernel does not freeze the underlying
+/// file: truncating it while mapped can fault the process. Containers are
+/// written once and then opened read-only, so this is the standard mmap
+/// contract, not an extra hazard.
+pub(crate) enum Mapping {
+    /// Kernel file mapping (unix only).
+    #[cfg(unix)]
+    Mapped {
+        /// Page-aligned base address returned by `mmap`.
+        ptr: *const u8,
+        /// Mapping length in bytes (the file length at map time).
+        len: usize,
+    },
+    /// Heap fallback: the whole file read into memory.
+    Heap(Vec<u8>),
+}
+
+// SAFETY: the mapping is PROT_READ-only and never handed out mutably; a
+// shared read-only page range is safe to reference from any thread, which
+// is what lets `MappedCsr` satisfy the `Sync` bound the shard-parallel
+// and turbo engines require.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    // Values shared by Linux and the BSD family for the flags we use.
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_SHARED: c_int = 1;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+impl Mapping {
+    /// Maps `file` read-only, falling back to a heap copy if mapping is
+    /// unavailable. Zero-length files become an empty heap buffer (`mmap`
+    /// rejects length 0).
+    pub fn map(file: &File) -> io::Result<Mapping> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file too large to map on this platform",
+            ));
+        }
+        let len = len as usize;
+        if len == 0 {
+            return Ok(Mapping::Heap(Vec::new()));
+        }
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: we pass a null hint, a length matching the file, and
+            // a valid open fd; the result is checked against MAP_FAILED
+            // before use and unmapped exactly once in Drop.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr != sys::MAP_FAILED {
+                return Ok(Mapping::Mapped {
+                    ptr: ptr as *const u8,
+                    len,
+                });
+            }
+            // Fall through to the heap path on EINVAL/ENODEV etc.
+        }
+        let mut buf = Vec::with_capacity(len);
+        let mut reader = file;
+        reader.read_to_end(&mut buf)?;
+        Ok(Mapping::Heap(buf))
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            // SAFETY: ptr/len came from a successful PROT_READ mmap that
+            // stays live until Drop, and no mutable access ever exists.
+            Mapping::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Mapping::Heap(buf) => buf,
+        }
+    }
+
+    /// Whether the bytes are kernel-mapped (false: heap fallback).
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            #[cfg(unix)]
+            Mapping::Mapped { .. } => true,
+            Mapping::Heap(_) => false,
+        }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Mapping::Mapped { ptr, len } = self {
+            // SAFETY: exactly the region a successful mmap returned;
+            // dropped once, and no borrow of the bytes can outlive `self`.
+            unsafe {
+                sys::munmap(*ptr as *mut std::os::raw::c_void, *len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            #[cfg(unix)]
+            Mapping::Mapped { len, .. } => f.debug_struct("Mapped").field("len", len).finish(),
+            Mapping::Heap(buf) => f.debug_struct("Heap").field("len", &buf.len()).finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir().join(format!("gp-mmap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.bin");
+        let payload: Vec<u8> = (0..4096u32).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let map = Mapping::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(map.bytes(), &payload[..]);
+        #[cfg(unix)]
+        assert!(map.is_mapped());
+        drop(map);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_bytes() {
+        let dir = std::env::temp_dir().join(format!("gp-mmap-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::File::create(&path).unwrap();
+        let map = Mapping::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.bytes().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,392 @@
+//! External-memory container construction from an edge stream.
+//!
+//! [`build_streaming`] assembles a container without ever materializing
+//! the graph: the edge stream spills to per-source-bucket temporary files
+//! (12 bytes per edge), each bucket is loaded alone, stable-sorted by
+//! `(src, dst)` and deduplicated keep-first — exactly the
+//! [`GraphBuilder`](crate::GraphBuilder) canonicalization, applied one
+//! bucket at a time — and the CSR segments stream out as buckets resolve.
+//! A second bucketed spill of `(dst, src, weight)` records builds the
+//! in-adjacency mirror the same way. Peak resident memory is one bucket's
+//! edges plus the row-pointer arrays, independent of total edge count, so
+//! graphs whose resident CSR would not fit in RAM can still be built.
+//!
+//! Because each bucket covers a contiguous source range, the per-bucket
+//! stable sort is the restriction of the global stable sort, and the
+//! output is bit-identical to `GraphBuilder::build` over the same stream
+//! (defaults: dedup on, self-loops dropped, no symmetrization).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use super::write::{layout, rowptr_bytes, ContainerSummary, ContainerWriteError, CountingWriter};
+use super::{
+    digest_of, encode_slice_index, slice_extents_from_rowptr, Header, SegmentDigest, SEG_COUNT,
+};
+
+/// Tuning and semantics knobs for [`build_streaming`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamBuildOptions {
+    /// Mark the graph as carrying meaningful weights (writes the weight
+    /// segments). Default `false`.
+    pub weighted: bool,
+    /// Maximum vertices per entry of the stored slice index. Default
+    /// `1 << 16`, the accelerator-sized slice the partition machinery uses.
+    pub slice_vertices: usize,
+    /// Vertices per spill bucket — the unit of resident memory during the
+    /// build (one bucket's edges are sorted in RAM at a time). Default
+    /// `1 << 18`.
+    pub bucket_vertices: usize,
+}
+
+impl Default for StreamBuildOptions {
+    fn default() -> Self {
+        StreamBuildOptions {
+            weighted: false,
+            slice_vertices: 1 << 16,
+            bucket_vertices: 1 << 18,
+        }
+    }
+}
+
+/// Temporary spill directory, removed on drop (including error paths).
+struct SpillDir(PathBuf);
+
+impl SpillDir {
+    fn create(container: &Path) -> io::Result<SpillDir> {
+        let name = container
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "container".into());
+        let dir = container
+            .parent()
+            .unwrap_or_else(|| Path::new("."))
+            .join(format!(".{name}.spill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir)?;
+        Ok(SpillDir(dir))
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// A segment temp file that digests everything written through it.
+struct DigestingWriter {
+    w: BufWriter<File>,
+    digest: SegmentDigest,
+    len: u64,
+    path: PathBuf,
+}
+
+impl DigestingWriter {
+    fn create(path: PathBuf) -> io::Result<DigestingWriter> {
+        Ok(DigestingWriter {
+            w: BufWriter::new(File::create(&path)?),
+            digest: SegmentDigest::new(),
+            len: 0,
+            path,
+        })
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.w.write_all(bytes)?;
+        self.digest.update(bytes);
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes and returns `(path, byte_len, digest)`.
+    fn finish(mut self) -> io::Result<(PathBuf, u64, u64)> {
+        self.w.flush()?;
+        Ok((self.path, self.len, self.digest.finish()))
+    }
+}
+
+/// One spilled edge record: two ids and a weight bit pattern.
+const RECORD_BYTES: usize = 12;
+
+fn push_record(w: &mut BufWriter<File>, a: u32, b: u32, wbits: u32) -> io::Result<()> {
+    let mut rec = [0u8; RECORD_BYTES];
+    rec[0..4].copy_from_slice(&a.to_le_bytes());
+    rec[4..8].copy_from_slice(&b.to_le_bytes());
+    rec[8..12].copy_from_slice(&wbits.to_le_bytes());
+    w.write_all(&rec)
+}
+
+fn read_records(path: &Path) -> io::Result<Vec<(u32, u32, u32)>> {
+    let mut bytes = Vec::new();
+    BufReader::new(File::open(path)?).read_to_end(&mut bytes)?;
+    debug_assert_eq!(bytes.len() % RECORD_BYTES, 0);
+    Ok(bytes
+        .chunks_exact(RECORD_BYTES)
+        .map(|rec| {
+            (
+                u32::from_le_bytes(rec[0..4].try_into().unwrap()),
+                u32::from_le_bytes(rec[4..8].try_into().unwrap()),
+                u32::from_le_bytes(rec[8..12].try_into().unwrap()),
+            )
+        })
+        .collect())
+}
+
+fn open_bucket_writers(
+    dir: &SpillDir,
+    prefix: &str,
+    buckets: usize,
+) -> io::Result<Vec<BufWriter<File>>> {
+    (0..buckets)
+        .map(|b| {
+            Ok(BufWriter::new(File::create(
+                dir.file(&format!("{prefix}{b}")),
+            )?))
+        })
+        .collect()
+}
+
+/// Builds a container at `path` from the edge stream `feed` produces,
+/// without materializing the graph in memory.
+///
+/// `feed` is called once with a sink closure and must push every
+/// `(src, dst, weight)` triple through it — e.g. by forwarding
+/// [`rmat_edges`](crate::generators::rmat_edges) or parsing an edge-list
+/// file line by line. Semantics match `GraphBuilder` defaults: self loops
+/// dropped, parallel edges deduplicated keeping the first-streamed weight.
+/// The resulting file is byte-identical to
+/// [`write_container`](super::write_container) over the resident build of
+/// the same stream (same `slice_vertices`).
+///
+/// # Errors
+///
+/// [`ContainerWriteError::Invalid`] when an edge references a vertex
+/// `>= num_vertices` or the deduplicated edge count exceeds `u32::MAX`;
+/// [`ContainerWriteError::Io`] on filesystem failure. Spill files live in
+/// a hidden sibling directory of `path` and are removed on all paths.
+///
+/// # Panics
+///
+/// Panics if `slice_vertices` or `bucket_vertices` is zero.
+pub fn build_streaming<F>(
+    path: &Path,
+    num_vertices: usize,
+    opts: &StreamBuildOptions,
+    feed: F,
+) -> Result<ContainerSummary, ContainerWriteError>
+where
+    F: FnOnce(&mut dyn FnMut(u32, u32, f32)),
+{
+    assert!(opts.bucket_vertices > 0, "bucket capacity must be nonzero");
+    let n = num_vertices;
+    if u32::try_from(n).is_err() {
+        return Err(ContainerWriteError::Invalid(format!(
+            "{n} vertices exceed the u32 id space"
+        )));
+    }
+    let buckets = n.div_ceil(opts.bucket_vertices);
+    let dir = SpillDir::create(path)?;
+
+    // Phase A: spill the raw stream into per-source-bucket files.
+    let mut out_spill = open_bucket_writers(&dir, "out", buckets)?;
+    let mut io_err: Option<io::Error> = None;
+    let mut bad_edge: Option<String> = None;
+    {
+        let mut sink = |s: u32, d: u32, w: f32| {
+            if io_err.is_some() || bad_edge.is_some() {
+                return;
+            }
+            if s as usize >= n || d as usize >= n {
+                bad_edge = Some(format!("edge ({s} -> {d}) out of range for {n} vertices"));
+                return;
+            }
+            if s == d {
+                return; // self loops dropped, as in GraphBuilder
+            }
+            let b = s as usize / opts.bucket_vertices;
+            if let Err(e) = push_record(&mut out_spill[b], s, d, w.to_bits()) {
+                io_err = Some(e);
+            }
+        };
+        feed(&mut sink);
+    }
+    if let Some(e) = io_err {
+        return Err(e.into());
+    }
+    if let Some(what) = bad_edge {
+        return Err(ContainerWriteError::Invalid(what));
+    }
+    for w in &mut out_spill {
+        w.flush()?;
+    }
+    drop(out_spill);
+
+    // Phase B: per bucket — sort, dedup, emit out-CSR rows/edges, and
+    // re-spill (dst, src, weight) for the in-mirror.
+    let mut in_spill = open_bucket_writers(&dir, "in", buckets)?;
+    let mut out_rowptr: Vec<u32> = vec![0; n + 1];
+    let mut out_neigh = DigestingWriter::create(dir.file("out_neigh.seg"))?;
+    let mut out_weights = DigestingWriter::create(dir.file("out_weights.seg"))?;
+    let mut edges: u64 = 0;
+    for b in 0..buckets {
+        let lo = b * opts.bucket_vertices;
+        let hi = n.min(lo + opts.bucket_vertices);
+        let mut recs = read_records(&dir.file(&format!("out{b}")))?;
+        // Stable per-bucket sort == restriction of the global stable sort,
+        // so keep-first dedup picks the same surviving edge the resident
+        // GraphBuilder would.
+        recs.sort_by_key(|r| (r.0, r.1));
+        recs.dedup_by_key(|r| (r.0, r.1));
+        edges += recs.len() as u64;
+        if edges > u64::from(u32::MAX) {
+            return Err(ContainerWriteError::Invalid(format!(
+                "deduplicated edge count exceeds u32::MAX at bucket {b}"
+            )));
+        }
+        let mut deg = vec![0u32; hi - lo];
+        for &(s, d, wbits) in &recs {
+            deg[s as usize - lo] += 1;
+            out_neigh.put(&d.to_le_bytes())?;
+            if opts.weighted {
+                out_weights.put(&wbits.to_le_bytes())?;
+            }
+            let db = d as usize / opts.bucket_vertices;
+            push_record(&mut in_spill[db], d, s, wbits)?;
+        }
+        for v in lo..hi {
+            out_rowptr[v + 1] = out_rowptr[v] + deg[v - lo];
+        }
+        std::fs::remove_file(dir.file(&format!("out{b}")))?;
+    }
+    for w in &mut in_spill {
+        w.flush()?;
+    }
+    drop(in_spill);
+    let m = edges;
+
+    // Phase C: the in-mirror, sorted by (dst, src) — the counting-sort
+    // order CsrGraph::from_parts produces for the resident build.
+    let mut in_rowptr: Vec<u32> = vec![0; n + 1];
+    let mut in_neigh = DigestingWriter::create(dir.file("in_neigh.seg"))?;
+    let mut in_weights = DigestingWriter::create(dir.file("in_weights.seg"))?;
+    for b in 0..buckets {
+        let lo = b * opts.bucket_vertices;
+        let hi = n.min(lo + opts.bucket_vertices);
+        let mut recs = read_records(&dir.file(&format!("in{b}")))?;
+        recs.sort_by_key(|r| (r.0, r.1));
+        let mut deg = vec![0u32; hi - lo];
+        for &(d, s, wbits) in &recs {
+            deg[d as usize - lo] += 1;
+            in_neigh.put(&s.to_le_bytes())?;
+            if opts.weighted {
+                in_weights.put(&wbits.to_le_bytes())?;
+            }
+        }
+        for v in lo..hi {
+            in_rowptr[v + 1] = in_rowptr[v] + deg[v - lo];
+        }
+        std::fs::remove_file(dir.file(&format!("in{b}")))?;
+    }
+
+    // Assemble the container: all digests are known before the header is
+    // written, so the file streams out front to back.
+    let slices = slice_extents_from_rowptr(&out_rowptr, opts.slice_vertices);
+    let slice_index = encode_slice_index(&slices);
+    let out_rowptr_bytes = rowptr_bytes(&out_rowptr);
+    let in_rowptr_bytes = rowptr_bytes(&in_rowptr);
+    drop(out_rowptr);
+    drop(in_rowptr);
+
+    let (out_neigh_path, out_neigh_len, out_neigh_digest) = out_neigh.finish()?;
+    let (out_w_path, out_w_len, out_w_digest) = out_weights.finish()?;
+    let (in_neigh_path, in_neigh_len, in_neigh_digest) = in_neigh.finish()?;
+    let (in_w_path, in_w_len, in_w_digest) = in_weights.finish()?;
+    debug_assert_eq!(out_neigh_len, m * 4);
+    debug_assert_eq!(in_neigh_len, m * 4);
+
+    let seg_lens = [
+        out_rowptr_bytes.len() as u64,
+        out_neigh_len,
+        out_w_len,
+        in_rowptr_bytes.len() as u64,
+        in_neigh_len,
+        in_w_len,
+        slice_index.len() as u64,
+    ];
+    let (mut segs, file_bytes) = layout(&seg_lens);
+    let digests = [
+        digest_of(&out_rowptr_bytes),
+        out_neigh_digest,
+        out_w_digest,
+        digest_of(&in_rowptr_bytes),
+        in_neigh_digest,
+        in_w_digest,
+        digest_of(&slice_index),
+    ];
+    for (seg, d) in segs.iter_mut().zip(digests) {
+        seg.digest = d;
+    }
+    let header = Header {
+        num_vertices: n as u64,
+        num_edges: m,
+        weighted: opts.weighted,
+        slice_count: slices.len() as u32,
+        segments: segs,
+    };
+
+    let mut w = CountingWriter::new(BufWriter::new(File::create(path)?));
+    w.write_all(&header.encode())?;
+    let sources: [Option<&Path>; SEG_COUNT] = [
+        None, // out_rowptr: in memory
+        Some(&out_neigh_path),
+        Some(&out_w_path),
+        None, // in_rowptr: in memory
+        Some(&in_neigh_path),
+        Some(&in_w_path),
+        None, // slice index: in memory
+    ];
+    let in_memory = [
+        Some(&out_rowptr_bytes),
+        None,
+        None,
+        Some(&in_rowptr_bytes),
+        None,
+        None,
+        Some(&slice_index),
+    ];
+    for i in 0..SEG_COUNT {
+        w.pad_to(segs[i].offset)?;
+        if let Some(bytes) = in_memory[i] {
+            w.write_all(bytes)?;
+        } else if let Some(src) = sources[i] {
+            io::copy(&mut BufReader::new(File::open(src)?), &mut w)?;
+        }
+        if w.pos() != segs[i].offset + segs[i].len {
+            return Err(ContainerWriteError::Invalid(format!(
+                "segment {i} wrote {} bytes, layout expected {}",
+                w.pos() - segs[i].offset,
+                segs[i].len
+            )));
+        }
+    }
+    debug_assert_eq!(w.pos(), file_bytes);
+    let mut inner = w.into_inner();
+    inner.flush()?;
+    inner
+        .into_inner()
+        .map_err(io::IntoInnerError::into_error)?
+        .sync_all()?;
+
+    Ok(ContainerSummary {
+        vertices: n as u64,
+        edges: m,
+        weighted: opts.weighted,
+        slices: slices.len() as u32,
+        file_bytes,
+    })
+}

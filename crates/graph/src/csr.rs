@@ -223,6 +223,17 @@ impl CsrGraph {
         self.out_offsets[v.index()] as usize
     }
 
+    /// Raw out-CSR arrays `(offsets, neighbors, weights)`; the on-disk
+    /// container serializes these segments verbatim.
+    pub(crate) fn out_parts(&self) -> (&[u32], &[VertexId], &[f32]) {
+        (&self.out_offsets, &self.out_neighbors, &self.out_weights)
+    }
+
+    /// Raw in-CSR arrays `(offsets, neighbors, weights)`.
+    pub(crate) fn in_parts(&self) -> (&[u32], &[VertexId], &[f32]) {
+        (&self.in_offsets, &self.in_neighbors, &self.in_weights)
+    }
+
     /// Sum of out-degrees over `lo..hi` — edge work in a vertex range.
     ///
     /// # Panics

@@ -22,20 +22,37 @@ use crate::{CsrGraph, GraphBuilder, VertexId};
 /// assert!(g.is_weighted());
 /// ```
 pub fn erdos_renyi(vertices: usize, edges: usize, weights: WeightMode, seed: u64) -> CsrGraph {
-    assert!(vertices > 0, "erdos_renyi needs at least one vertex");
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::new(vertices);
     weights.mark(&mut builder);
+    erdos_renyi_edges(vertices, edges, weights, seed, |s, d, w| {
+        builder.add_edge(VertexId::new(s), VertexId::new(d), w);
+    });
+    builder.build()
+}
+
+/// Streams the raw `G(n, m)` edge sequence to `sink` without building a
+/// graph: the same triples [`erdos_renyi`] feeds its builder, in the same
+/// order, from the same RNG stream. Used by the out-of-core container
+/// builder to assemble disk-resident graphs bit-identical to the resident
+/// build.
+///
+/// # Panics
+///
+/// Panics if `vertices == 0`.
+pub fn erdos_renyi_edges(
+    vertices: usize,
+    edges: usize,
+    weights: WeightMode,
+    seed: u64,
+    mut sink: impl FnMut(u32, u32, f32),
+) {
+    assert!(vertices > 0, "erdos_renyi needs at least one vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..edges {
         let s = rng.gen_range(0..vertices);
         let d = rng.gen_range(0..vertices);
-        builder.add_edge(
-            VertexId::from_index(s),
-            VertexId::from_index(d),
-            weights.sample(&mut rng),
-        );
+        sink(s as u32, d as u32, weights.sample(&mut rng));
     }
-    builder.build()
 }
 
 #[cfg(test)]

@@ -19,9 +19,9 @@ mod rmat;
 mod small_world;
 
 pub use barabasi::barabasi_albert;
-pub use erdos_renyi::erdos_renyi;
+pub use erdos_renyi::{erdos_renyi, erdos_renyi_edges};
 pub use grid::grid_2d;
-pub use rmat::{rmat, RmatConfig};
+pub use rmat::{rmat, rmat_edges, RmatConfig};
 pub use small_world::watts_strogatz;
 
 use gp_sim::rng::Rng;

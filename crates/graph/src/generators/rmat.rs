@@ -75,6 +75,25 @@ impl RmatConfig {
 /// assert!(g.num_edges() > 6 << 10);
 /// ```
 pub fn rmat(config: &RmatConfig, seed: u64) -> CsrGraph {
+    let mut builder = GraphBuilder::new(config.vertices);
+    config.weights.mark(&mut builder);
+    rmat_edges(config, seed, |s, d, w| {
+        builder.add_edge(VertexId::new(s), VertexId::new(d), w);
+    });
+    builder.build()
+}
+
+/// Streams the raw R-MAT edge-placement sequence to `sink` without building
+/// a graph: exactly the `(src, dst, weight)` triples [`rmat`] feeds its
+/// builder, in the same order, from the same RNG stream. The out-of-core
+/// container builder uses this to assemble disk-resident graphs whose edge
+/// set is bit-identical to the resident [`rmat`] build (same stable
+/// sort + keep-first dedup, applied per spill bucket instead of in RAM).
+///
+/// # Panics
+///
+/// Same contract as [`rmat`].
+pub fn rmat_edges(config: &RmatConfig, seed: u64, mut sink: impl FnMut(u32, u32, f32)) {
     assert!(config.vertices > 0, "rmat needs at least one vertex");
     let partial = config.a + config.b + config.c;
     assert!(
@@ -91,9 +110,6 @@ pub fn rmat(config: &RmatConfig, seed: u64) -> CsrGraph {
     let n = config.vertices as u64;
     let scramble =
         |v: usize| -> u32 { ((v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n) as u32 };
-
-    let mut builder = GraphBuilder::new(config.vertices);
-    config.weights.mark(&mut builder);
 
     for _ in 0..config.edges {
         let (mut lo_r, mut hi_r) = (0usize, side);
@@ -131,9 +147,8 @@ pub fn rmat(config: &RmatConfig, seed: u64) -> CsrGraph {
         let src = scramble(lo_r);
         let dst = scramble(lo_c);
         let w = config.weights.sample(&mut rng);
-        builder.add_edge(VertexId::new(src), VertexId::new(dst), w);
+        sink(src, dst, w);
     }
-    builder.build()
 }
 
 #[cfg(test)]

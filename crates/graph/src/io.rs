@@ -50,7 +50,8 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Errors produced while reading graph files.
+/// Errors produced while reading graph files (the text/binary codecs here
+/// and the mmap-able [`container`](crate::container) format).
 #[derive(Debug)]
 pub enum ReadGraphError {
     /// Underlying I/O failure.
@@ -59,8 +60,19 @@ pub enum ReadGraphError {
     Parse(usize, String),
     /// The binary header magic did not match.
     BadMagic,
+    /// The header carries a version this build does not understand.
+    BadVersion(u16),
     /// The binary payload ended prematurely.
     Truncated,
+    /// A container segment is not placed on its required alignment, or its
+    /// extent is inconsistent with the header; names the segment and why.
+    Misaligned(String),
+    /// A stored checksum does not match the bytes it covers; names the
+    /// corrupted region.
+    ChecksumMismatch(String),
+    /// The payload parses but violates a structural invariant (row-pointer
+    /// monotonicity, edge-index bounds, out-of-range neighbor ids, ...).
+    Corrupt(String),
 }
 
 impl fmt::Display for ReadGraphError {
@@ -69,7 +81,17 @@ impl fmt::Display for ReadGraphError {
             ReadGraphError::Io(e) => write!(f, "i/o error reading graph: {e}"),
             ReadGraphError::Parse(line, what) => write!(f, "parse error on line {line}: {what}"),
             ReadGraphError::BadMagic => write!(f, "not a gp-graph binary file"),
+            ReadGraphError::BadVersion(v) => {
+                write!(f, "unsupported gp-graph format version {v}")
+            }
             ReadGraphError::Truncated => write!(f, "binary graph payload truncated"),
+            ReadGraphError::Misaligned(what) => {
+                write!(f, "misaligned or inconsistent segment: {what}")
+            }
+            ReadGraphError::ChecksumMismatch(what) => {
+                write!(f, "checksum mismatch: {what}")
+            }
+            ReadGraphError::Corrupt(what) => write!(f, "corrupt graph payload: {what}"),
         }
     }
 }
@@ -208,10 +230,17 @@ pub fn encode_binary(graph: &CsrGraph) -> Vec<u8> {
 
 /// Decodes a graph from the binary format produced by [`encode_binary`].
 ///
+/// The payload is fully validated *before* any graph is constructed:
+/// unknown versions are rejected, every endpoint must be in range (the
+/// edge-index bounds a CSR decode would otherwise trust), and sources must
+/// arrive in non-decreasing CSR order (the flat-triple analog of
+/// row-pointer monotonicity). Malformed payloads therefore return a typed
+/// error instead of panicking inside the builder.
+///
 /// # Errors
 ///
-/// Returns [`ReadGraphError::BadMagic`] or [`ReadGraphError::Truncated`] on
-/// malformed input.
+/// [`ReadGraphError::BadMagic`], [`ReadGraphError::BadVersion`],
+/// [`ReadGraphError::Truncated`], or [`ReadGraphError::Corrupt`].
 pub fn decode_binary(data: &[u8]) -> Result<CsrGraph, ReadGraphError> {
     let mut data = Cursor::new(data);
     if data.remaining() < 20 {
@@ -220,7 +249,10 @@ pub fn decode_binary(data: &[u8]) -> Result<CsrGraph, ReadGraphError> {
     if data.get_u32_le()? != MAGIC {
         return Err(ReadGraphError::BadMagic);
     }
-    let _version = data.get_u16_le()?;
+    let version = data.get_u16_le()?;
+    if version != 1 {
+        return Err(ReadGraphError::BadVersion(version));
+    }
     let weighted = data.get_u8()? != 0;
     let _reserved = data.get_u8()?;
     let n = data.get_u32_le()? as usize;
@@ -229,14 +261,31 @@ pub fn decode_binary(data: &[u8]) -> Result<CsrGraph, ReadGraphError> {
     if data.remaining() < m * record {
         return Err(ReadGraphError::Truncated);
     }
+    let mut edges = Vec::with_capacity(m);
+    let mut prev_src = 0u32;
+    for i in 0..m {
+        let src = data.get_u32_le()?;
+        let dst = data.get_u32_le()?;
+        let w = if weighted { data.get_f32_le()? } else { 1.0 };
+        if (src as usize) >= n || (dst as usize) >= n {
+            return Err(ReadGraphError::Corrupt(format!(
+                "edge {i} ({src} -> {dst}) references a vertex >= {n}"
+            )));
+        }
+        if src < prev_src {
+            return Err(ReadGraphError::Corrupt(format!(
+                "edge {i}: source {src} after {prev_src} breaks CSR order \
+                 (row pointers would not be monotone)"
+            )));
+        }
+        prev_src = src;
+        edges.push((src, dst, w));
+    }
     let mut b = GraphBuilder::new(n);
     b.weighted(weighted);
     // Encoded graphs are already deduplicated CSR dumps.
     b.dedup(false).drop_self_loops(false);
-    for _ in 0..m {
-        let src = data.get_u32_le()?;
-        let dst = data.get_u32_le()?;
-        let w = if weighted { data.get_f32_le()? } else { 1.0 };
+    for (src, dst, w) in edges {
         b.add_edge(VertexId::new(src), VertexId::new(dst), w);
     }
     Ok(b.build())
@@ -298,6 +347,45 @@ mod tests {
         let bytes = encode_binary(&erdos_renyi(10, 30, WeightMode::Unweighted, 1));
         let cut = &bytes[..bytes.len() - 3];
         assert!(matches!(decode_binary(cut), Err(ReadGraphError::Truncated)));
+    }
+
+    /// 3 vertices, edges `0 -> 1`, `1 -> 2`; records start at byte 20,
+    /// 8 bytes each (`src` then `dst`).
+    fn small_encoded() -> Vec<u8> {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(VertexId::new(0), VertexId::new(1), 1.0);
+        b.add_edge(VertexId::new(1), VertexId::new(2), 1.0);
+        encode_binary(&b.build())
+    }
+
+    #[test]
+    fn binary_rejects_unknown_version() {
+        let mut bytes = small_encoded();
+        bytes[4..6].copy_from_slice(&9u16.to_le_bytes());
+        assert!(matches!(
+            decode_binary(&bytes),
+            Err(ReadGraphError::BadVersion(9))
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_edges() {
+        let mut bytes = small_encoded();
+        bytes[24..28].copy_from_slice(&7u32.to_le_bytes()); // dst of edge 0
+        match decode_binary(&bytes) {
+            Err(ReadGraphError::Corrupt(msg)) => assert!(msg.contains("vertex >= 3"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_non_monotone_sources() {
+        let mut bytes = small_encoded();
+        bytes[20..24].copy_from_slice(&2u32.to_le_bytes()); // src of edge 0
+        match decode_binary(&bytes) {
+            Err(ReadGraphError::Corrupt(msg)) => assert!(msg.contains("monotone"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

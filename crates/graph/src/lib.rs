@@ -18,7 +18,10 @@
 //!   backends iterate through,
 //! * [`OverlayGraph`] — a mutable delta-overlay over the CSR for streaming
 //!   edge updates, with threshold-triggered compaction,
-//! * [`io`] — text and binary edge-list formats.
+//! * [`io`] — text and binary edge-list formats,
+//! * [`container`] — the on-disk, mmap-able CSR container and
+//!   [`MappedCsr`], the out-of-core [`GraphView`] for graphs beyond
+//!   resident memory.
 //!
 //! # Examples
 //!
@@ -35,10 +38,14 @@
 //! assert_eq!(g.out_degree(VertexId::new(1)), 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the container's mmap shim is the one
+// audited exception (`container::mmap` opts back in with a scoped allow);
+// everything else in the crate remains safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod builder;
+pub mod container;
 mod csr;
 pub mod generators;
 pub mod io;
@@ -50,6 +57,7 @@ mod view;
 pub mod workloads;
 
 pub use builder::GraphBuilder;
+pub use container::{MappedCsr, MeteredView};
 pub use csr::{CsrGraph, EdgeRef, OutEdges};
 pub use gp_sim::rng;
 pub use overlay::{AppliedBatch, EdgeUpdate, GraphSnapshot, OverlayGraph};

@@ -27,8 +27,9 @@ use gp_algorithms::{
     IncrementalAlgorithm, PageRankDelta, Sssp, Sswp,
 };
 use gp_chaos::{run_chaos, ChaosConfig, FaultPlan};
+use gp_graph::container::write_container;
 use gp_graph::rng::{Rng, StdRng};
-use gp_graph::{CsrGraph, GraphBuilder, VertexId};
+use gp_graph::{CsrGraph, GraphBuilder, MappedCsr, VertexId};
 use gp_mem::integrity::Storable;
 use gp_stream::{IncrementalEngine, StreamConfig};
 use gp_turbo::{run_turbo, StaleFault, TurboConfig};
@@ -208,6 +209,10 @@ where
 {
     let tol = algo.comparison_tolerance();
     let golden = run_sequential(algo, g);
+
+    // Out-of-core (oracle leg 7): the same engines over a mapped on-disk
+    // container must be bit-exact with their resident runs.
+    check_outofcore(g, algo)?;
 
     // Chaos executor (oracle leg 6): clean equivalence with golden, and —
     // under an injected fault — the in-engine watchdogs' detection.
@@ -431,6 +436,99 @@ where
         out.report
             .check_event_conservation(true)
             .map_err(|e| fail("event-conservation", format!("sliced run: {e}")))?;
+    }
+    Ok(())
+}
+
+/// The out-of-core oracle leg (`differential-outofcore`): the case's graph
+/// is serialized to an on-disk container, reopened through [`MappedCsr`]
+/// with full checksum verification, and the golden engine and turbo are
+/// re-run against the mapping. Because the mapped segments are
+/// bit-identical to the resident arrays and both engines are generic over
+/// `GraphView`, the comparison is **bit-exact** — values and event
+/// counters — not merely within tolerance; any divergence means the
+/// container codec, the mapping, or its accessors corrupted adjacency.
+/// A small vertex cap forces a multi-slice index on all but trivial cases
+/// so the stored slice extents get exercised too.
+fn check_outofcore<A>(g: &CsrGraph, algo: &A) -> Result<(), Failure>
+where
+    A: DeltaAlgorithm,
+{
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    struct Cleanup(std::path::PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            std::fs::remove_file(&self.0).ok();
+        }
+    }
+
+    let path = std::env::temp_dir().join(format!(
+        "gp-oracle-ooc-{}-{}.gpc",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _cleanup = Cleanup(path.clone());
+    let cap = (g.num_vertices() / 2).max(1);
+    write_container(g, &path, cap)
+        .map_err(|e| fail("differential-outofcore", format!("write failed: {e}")))?;
+    let mapped = MappedCsr::open_verified(&path)
+        .map_err(|e| fail("differential-outofcore", format!("open failed: {e}")))?;
+    if mapped.to_csr() != *g {
+        return Err(fail(
+            "differential-outofcore",
+            "re-materialized container is not the resident graph".into(),
+        ));
+    }
+
+    let golden = run_sequential(algo, g);
+    let ooc = run_sequential(algo, &mapped);
+    if ooc
+        .values
+        .iter()
+        .map(|v| v.to_bits())
+        .ne(golden.values.iter().map(|v| v.to_bits()))
+        || ooc.events_processed != golden.events_processed
+        || ooc.events_generated != golden.events_generated
+    {
+        return Err(fail(
+            "differential-outofcore",
+            format!(
+                "golden over the mapped container is not bit-exact with resident \
+                 (processed {} vs {}, generated {} vs {}, max |diff| {:e})",
+                ooc.events_processed,
+                golden.events_processed,
+                ooc.events_generated,
+                golden.events_generated,
+                max_abs_diff(&ooc.values, &golden.values)
+            ),
+        ));
+    }
+
+    let tcfg = TurboConfig::default();
+    let t_resident = run_turbo(algo, g, &tcfg);
+    let t_mapped = run_turbo(algo, &mapped, &tcfg);
+    if t_mapped
+        .values
+        .iter()
+        .map(|v| v.to_bits())
+        .ne(t_resident.values.iter().map(|v| v.to_bits()))
+        || t_mapped.events_processed != t_resident.events_processed
+        || t_mapped.events_generated != t_resident.events_generated
+        || t_mapped.rounds != t_resident.rounds
+    {
+        return Err(fail(
+            "differential-outofcore",
+            format!(
+                "turbo over the mapped container diverged from its resident run \
+                 (processed {} vs {}, rounds {} vs {}, max |diff| {:e})",
+                t_mapped.events_processed,
+                t_resident.events_processed,
+                t_mapped.rounds,
+                t_resident.rounds,
+                max_abs_diff(&t_mapped.values, &t_resident.values)
+            ),
+        ));
     }
     Ok(())
 }

@@ -254,6 +254,114 @@ fn sharded_oracle_leg_passes_on_fixed_corpus_cases() {
     }
 }
 
+// --- `differential-outofcore` oracle leg ---------------------------------
+//
+// When the mmap-backed container landed, the fuzz driver ran the full
+// oracle (now including `differential-outofcore`: golden and turbo re-run
+// over an on-disk mapping, demanded bit-exact with their resident runs)
+// across the fixed corpus and found no divergence — nothing for the
+// shrinker to minimize. Per the promotion protocol, the corruption paths
+// the leg depends on are pinned here instead, as fixed-seed repros: each
+// corruption class is applied to the container of a corpus-case graph and
+// must surface as its typed `ReadGraphError` — never a panic and never a
+// silently-open graph.
+
+use gp_graph::container::{write_container, SegmentDigest, HEADER_DIGEST_AT};
+use gp_graph::io::ReadGraphError;
+use gp_graph::MappedCsr;
+
+/// Writes the container of the corpus case at `seed` and returns its path
+/// and raw bytes. Caller owns cleanup via the returned scratch dir.
+fn corpus_container(seed: u64) -> (std::path::PathBuf, std::path::PathBuf, Vec<u8>) {
+    let g = generate(seed).build_graph();
+    assert!(g.num_edges() > 0, "corpus seed {seed} produced no edges");
+    let dir = std::env::temp_dir().join(format!("gp-regress-ooc-{seed}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("case.gpc");
+    write_container(&g, &path, (g.num_vertices() / 2).max(1)).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    (dir, path, bytes)
+}
+
+fn reopen(path: &std::path::Path, bytes: &[u8]) -> Result<MappedCsr, ReadGraphError> {
+    std::fs::write(path, bytes).unwrap();
+    MappedCsr::open_verified(path)
+}
+
+/// Fixed-seed corruption repros: every class of container damage on the
+/// seed-7 corpus graph returns its typed error through the exact
+/// `open_verified` path the oracle leg uses.
+#[test]
+fn outofcore_corruption_classes_stay_typed_on_corpus_graph() {
+    let (dir, path, healthy) = corpus_container(7);
+
+    // Undamaged baseline opens and passes the full oracle-path checks.
+    reopen(&path, &healthy).unwrap();
+
+    let mut truncated = healthy.clone();
+    truncated.truncate(healthy.len() - 8);
+    assert!(matches!(
+        reopen(&path, &truncated),
+        Err(ReadGraphError::Truncated)
+    ));
+
+    let mut magic = healthy.clone();
+    magic[1] = b'!';
+    assert!(matches!(
+        reopen(&path, &magic),
+        Err(ReadGraphError::BadMagic)
+    ));
+
+    let mut version = healthy.clone();
+    version[4..6].copy_from_slice(&2u16.to_le_bytes());
+    assert!(matches!(
+        reopen(&path, &version),
+        Err(ReadGraphError::BadVersion(2))
+    ));
+
+    let mut skewed = healthy.clone();
+    // out_neighbors descriptor offset (second segment): off the 64-byte
+    // grid, header digest resealed so alignment is the failing check.
+    let at = 32 + 24;
+    let off = u64::from_le_bytes(skewed[at..at + 8].try_into().unwrap());
+    skewed[at..at + 8].copy_from_slice(&(off + 8).to_le_bytes());
+    let mut d = SegmentDigest::new();
+    d.update(&skewed[..HEADER_DIGEST_AT]);
+    let digest = d.finish();
+    skewed[HEADER_DIGEST_AT..HEADER_DIGEST_AT + 8].copy_from_slice(&digest.to_le_bytes());
+    assert!(matches!(
+        reopen(&path, &skewed),
+        Err(ReadGraphError::Misaligned(_))
+    ));
+
+    let mut flipped = healthy.clone();
+    let neigh_off = u64::from_le_bytes(flipped[56..64].try_into().unwrap()) as usize;
+    flipped[neigh_off] ^= 0x80;
+    assert!(matches!(
+        reopen(&path, &flipped),
+        Err(ReadGraphError::ChecksumMismatch(_))
+    ));
+
+    let mut rowptr = healthy.clone();
+    let rowptr_off = u64::from_le_bytes(rowptr[32..40].try_into().unwrap()) as usize;
+    rowptr[rowptr_off + 4..rowptr_off + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        reopen(&path, &rowptr),
+        Err(ReadGraphError::Corrupt(_))
+    ));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn outofcore_oracle_leg_passes_on_fixed_corpus_cases() {
+    // Full oracle sweep (which now includes `differential-outofcore`) on a
+    // fixed corpus slice — the exact check the fuzzer runs, pinned.
+    for seed in [10u64, 11, 12] {
+        run_case(&generate(seed), None).unwrap();
+    }
+}
+
 #[test]
 fn shrunk_repros_still_trip_the_oracle_under_the_original_fault() {
     for (name, case) in [

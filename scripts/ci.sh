@@ -99,4 +99,24 @@ cargo run --release -q -p gp-bench --bin serve_bench -- \
 cargo run --release -q -p gp-bench --bin bench_check -- \
   /tmp/gp-serve-smoke.json BENCH_serve.json
 
+echo "== out-of-core smoke (streamed container, mapped vs resident bit-compare) =="
+# Builds a 2^16-vertex weighted R-MAT container in a temp dir with the
+# streaming external-memory builder (the graph is never resident during
+# the build), memory-maps it, and runs golden + turbo over the mapping
+# under a 4 MiB working-state budget the fully-resident graph (~8 MiB
+# both-direction CSR) cannot meet. --check-resident additionally
+# materializes the graph and requires golden and turbo over the mapping
+# to be bit-identical (values and every event counter) to the fully
+# resident runs; the binary exits non-zero on any divergence. The emitted
+# JSON plus the committed sweep must both satisfy gp-bench/outofcore/v1.
+# (The differential-outofcore oracle leg inside the fuzz smokes above
+# additionally bit-compares mapped vs resident runs on every corpus case.)
+GP_OOC_DIR=$(mktemp -d /tmp/gp-ooc-smoke.XXXXXX)
+trap 'rm -rf "$GP_OOC_DIR"' EXIT
+cargo run --release -q -p gp-bench --bin container -- \
+  --seed 7 --log2 16 --budget-mb 4 --check-resident --dir "$GP_OOC_DIR" \
+  --out /tmp/gp-ooc-smoke.json
+cargo run --release -q -p gp-bench --bin bench_check -- \
+  /tmp/gp-ooc-smoke.json BENCH_outofcore.json
+
 echo "CI gate passed."
